@@ -1,0 +1,45 @@
+// Ablation — §5 footnote 8: frontends that verify block signatures need only
+// f+1 matching copies; non-verifying frontends need 2f+1. Verification
+// reduces the number of block copies a frontend must wait for (better
+// latency/availability) at the cost of CPU at the frontend.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "harness.hpp"
+
+using namespace bft;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const double measure_s = flags.get_double("measure-s", 1.0);
+
+  std::printf("=== Ablation: frontend signature verification (f+1 copies) vs "
+              "matching-only (2f+1 copies) ===\n\n");
+  std::printf("%10s %10s | %14s %14s\n", "orderers", "receivers",
+              "verify f+1", "match 2f+1");
+  for (std::uint32_t orderers : {4u, 7u, 10u}) {
+    for (std::uint32_t receivers : {4u, 16u}) {
+      double tps[2] = {0, 0};
+      for (int mode = 0; mode < 2; ++mode) {
+        bench::LanConfig config;
+        config.orderers = orderers;
+        config.block_size = 10;
+        config.envelope_size = 1024;
+        config.receivers = receivers;
+        config.verify_signatures = mode == 0;
+        config.measure_s = measure_s;
+        tps[mode] = bench::run_lan_throughput(config).throughput_tps;
+      }
+      std::printf("%10u %10u | %14s %14s\n", orderers, receivers,
+                  bench::format_k(tps[0]).c_str(),
+                  bench::format_k(tps[1]).c_str());
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nthroughput is similar (every node still pushes to every "
+              "receiver); the win of\nverification is needing only f+1 "
+              "matching copies — delivery completes as soon as\nthe f+1 "
+              "fastest nodes respond, which matters under stragglers and "
+              "faults.\n");
+  return 0;
+}

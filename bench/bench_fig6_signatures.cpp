@@ -1,0 +1,94 @@
+// Figure 6 — "Signature Generation for Fabric blocks".
+//
+// Reproduces the §6.1 micro-benchmark: rate of ECDSA block signatures as a
+// function of worker threads, for blocks of 10 zero-byte envelopes. Signing
+// covers only the (constant-size) block header, which is why the paper
+// observes the same curve for every envelope/block size.
+//
+// This benchmark uses REAL ECDSA (our from-scratch secp256k1) on the host
+// CPU. Absolute rates differ from the paper's 2009-era Xeon E5520 + Java
+// stack (which peaks at 8.4 ksig/s on 16 hardware threads); the reproduced
+// claim is the near-linear scaling up to the core count.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "ledger/block.hpp"
+#include "ordering/signer.hpp"
+
+using namespace bft;
+
+namespace {
+
+double measure_rate(std::size_t threads, double seconds) {
+  const ordering::EcdsaBlockSigner signer(0);
+  // Block of 10 empty envelopes; each iteration signs a fresh header (the
+  // sequence number advances), as the ordering node does.
+  std::atomic<std::uint64_t> total{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&signer, &total, &stop, t] {
+      std::uint64_t n = t << 32;
+      std::uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ledger::Block block = ledger::make_block(
+            n++, crypto::sha256(to_bytes("prev")), std::vector<Bytes>(10));
+        (void)signer.sign(block.header.digest());
+        ++local;
+      }
+      total.fetch_add(local);
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(total.load()) / elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const double seconds = flags.get_double("seconds", 0.4);
+  const auto max_threads =
+      static_cast<std::size_t>(flags.get_int("max-threads", 16));
+
+  std::printf("=== Figure 6: ECDSA block-signature generation vs worker "
+              "threads ===\n");
+  std::printf("(blocks of 10 empty envelopes; real secp256k1 ECDSA on this "
+              "host, %zu hardware threads)\n\n",
+              static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  std::printf("%8s  %22s  %10s  %26s\n", "threads", "host ksignatures/sec",
+              "scaling", "paper-model ksig/s (R410)");
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  double base = 0;
+  for (std::size_t threads : {1u, 2u, 4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
+    if (threads > max_threads) break;
+    const double rate = measure_rate(threads, seconds);
+    if (threads == 1) base = rate;
+    // Calibrated model: each R410 hardware thread signs at 1/1.905ms; the
+    // curve is linear up to the 16 hardware threads (Figure 6's shape).
+    const double model =
+        static_cast<double>(std::min<std::size_t>(threads, 16)) / 1.905e-3;
+    std::printf("%8zu  %22.2f  %9.2fx  %26.2f\n", threads, rate / 1000.0,
+                rate / base, model / 1000.0);
+  }
+  if (hw < 16) {
+    std::printf("\nNOTE: this host exposes only %zu hardware thread(s); the "
+                "measured curve saturates there.\nThe paper-model column shows "
+                "the calibrated R410 behaviour the simulator uses.\n", hw);
+  }
+  std::printf("\npaper (Dell R410, 16 HW threads, Java): peaks at ~8.4 "
+              "ksig/s; with blocks of 10 envelopes that bounds the service "
+              "at 84k tx/s (Eq. 1).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Micro-benchmarks (google-benchmark) for the crypto substrate: the costs
+// behind Eq. (1) and the simulator's calibration constants.
+#include <benchmark/benchmark.h>
+
+#include "crypto/ecdsa.hpp"
+#include "crypto/hmac.hpp"
+#include "ledger/block.hpp"
+
+using namespace bft;
+
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(4096)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = to_bytes("benchmark-key");
+  const Bytes data(1024, 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  const crypto::PrivateKey key = crypto::PrivateKey::from_seed(to_bytes("bench"));
+  const crypto::Hash256 digest = crypto::sha256(to_bytes("block header"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.sign(digest));
+  }
+}
+BENCHMARK(BM_EcdsaSign);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  const crypto::PrivateKey key = crypto::PrivateKey::from_seed(to_bytes("bench"));
+  const crypto::PublicKey pub = key.public_key();
+  const crypto::Hash256 digest = crypto::sha256(to_bytes("block header"));
+  const crypto::Signature sig = key.sign(digest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pub.verify(digest, sig));
+  }
+}
+BENCHMARK(BM_EcdsaVerify);
+
+void BM_BlockHeaderBuild(benchmark::State& state) {
+  // The node thread's per-block work (§5.1): data hash + header digest.
+  std::vector<Bytes> envelopes(static_cast<std::size_t>(state.range(0)),
+                               Bytes(1024, 0x5a));
+  const crypto::Hash256 prev = crypto::sha256(to_bytes("prev"));
+  std::uint64_t n = 1;
+  for (auto _ : state) {
+    ledger::Block block = ledger::make_block(n++, prev, envelopes);
+    benchmark::DoNotOptimize(block.header.digest());
+  }
+}
+BENCHMARK(BM_BlockHeaderBuild)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

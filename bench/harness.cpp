@@ -1,0 +1,222 @@
+#include "harness.hpp"
+
+#include <cstdio>
+
+namespace bft::bench {
+
+using runtime::ProcessId;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+constexpr ProcessId kReceiverBase = 100;
+constexpr ProcessId kSubmitterBase = 200;
+
+Bytes make_envelope(std::uint64_t id, std::size_t size) {
+  Writer w(size);
+  w.u64(id);
+  Bytes e = std::move(w).take();
+  e.resize(std::max<std::size_t>(size, 8), 0x5a);
+  return e;
+}
+
+}  // namespace
+
+LanResult run_lan_throughput(const LanConfig& config) {
+  // --- service ---
+  ordering::ServiceOptions options;
+  for (std::uint32_t i = 0; i < config.orderers; ++i) options.nodes.push_back(i);
+  options.block_size = config.block_size;
+  options.stub_signatures = true;  // calibrated cost model (§6.1)
+  options.double_sign = config.double_sign;
+  options.replica_params.batch_max = config.batch_max;
+  options.replica_params.sign_writes = false;  // MAC-authenticated normal case
+  options.replica_params.forward_timeout = runtime::sec(10);
+  options.replica_params.stop_timeout = runtime::sec(20);
+  options.replica_params.stall_timeout = runtime::sec(10);
+  options.replica_params.checkpoint_period = 1u << 20;  // no checkpoint cost
+  ordering::Service service = ordering::make_service(options);
+
+  // --- network: nodes on their own machines, all client processes packed
+  // onto two machines (§6.2: "16 to 32 clients distributed across 2
+  // additional machines") ---
+  const std::uint32_t machines = config.orderers + 2;
+  std::vector<std::uint32_t> process_machine(kSubmitterBase + config.submitters,
+                                             machines - 1);
+  for (std::uint32_t i = 0; i < config.orderers; ++i) process_machine[i] = i;
+  for (std::uint32_t r = 0; r < config.receivers; ++r) {
+    process_machine[kReceiverBase + r] = config.orderers + (r % 2);
+  }
+  for (std::uint32_t s = 0; s < config.submitters; ++s) {
+    process_machine[kSubmitterBase + s] = config.orderers + (s % 2);
+  }
+  std::vector<std::vector<sim::SimTime>> latency(
+      machines, std::vector<sim::SimTime>(machines, kMillisecond / 20));
+  for (std::uint32_t m = 0; m < machines; ++m) latency[m][m] = 0;
+  sim::NetworkConfig net;  // 1 Gbit/s full duplex
+  sim::Network network(net, std::move(process_machine), std::move(latency),
+                       Rng(config.seed));
+  network.set_machine_bandwidth(config.orderers, config.client_bandwidth_bps);
+  network.set_machine_bandwidth(config.orderers + 1, config.client_bandwidth_bps);
+  runtime::SimCluster cluster(std::move(network), config.seed);
+
+  for (std::size_t i = 0; i < service.nodes.size(); ++i) {
+    cluster.add_process(service.cluster.members()[i],
+                        service.nodes[i].replica.get(), sim::CpuConfig{});
+  }
+
+  // --- receivers (the fan-out targets being measured) ---
+  ordering::FrontendOptions receiver_options =
+      ordering::make_frontend_options(service, options);
+  receiver_options.track_latency = false;
+  receiver_options.verify_signatures = config.verify_signatures;
+  std::vector<std::unique_ptr<ordering::Frontend>> receivers;
+  for (std::uint32_t r = 0; r < config.receivers; ++r) {
+    receivers.push_back(std::make_unique<ordering::Frontend>(
+        service.cluster, receiver_options));
+    cluster.add_process(kReceiverBase + r, receivers.back().get());
+  }
+
+  // --- submitters (do not receive blocks) ---
+  ordering::FrontendOptions submit_options = receiver_options;
+  submit_options.receive_blocks = false;
+  submit_options.verify_signatures = false;
+  std::vector<std::unique_ptr<ordering::Frontend>> submitters;
+  for (std::uint32_t s = 0; s < config.submitters; ++s) {
+    submitters.push_back(std::make_unique<ordering::Frontend>(
+        service.cluster, submit_options));
+    cluster.add_process(kSubmitterBase + s, submitters.back().get());
+  }
+
+  // --- closed-loop injection: keep `outstanding_window` envelopes in flight,
+  // clocked off node 0's ordered-envelope counter ---
+  const ordering::OrderingNode* leader_app = service.nodes[0].app.get();
+  auto submitted = std::make_shared<std::uint64_t>(0);
+  auto envelope_id = std::make_shared<std::uint64_t>(0);
+  const auto total_time =
+      static_cast<sim::SimTime>((config.warmup_s + config.measure_s) * kSecond);
+
+  std::function<void()> top_up = [&cluster, &submitters, leader_app, submitted,
+                                  envelope_id, &config, total_time, &top_up] {
+    const std::uint64_t consumed = leader_app->envelopes_ordered();
+    while (*submitted < consumed + config.outstanding_window) {
+      const std::size_t s =
+          static_cast<std::size_t>(*envelope_id % config.submitters);
+      submitters[s]->submit(
+          make_envelope((*envelope_id)++, config.envelope_size));
+      ++*submitted;
+    }
+    if (cluster.now() < total_time) {
+      cluster.schedule_at(cluster.now() + kMillisecond, [&top_up] { top_up(); });
+    }
+  };
+  cluster.schedule_at(kMillisecond / 10, [&top_up] { top_up(); });
+
+  // --- measure DELIVERED envelopes at receiver 0 between warmup and end
+  // (the rate the system sustains end to end: ordering, signing and block
+  // fan-out all gate it) ---
+  const ordering::Frontend* probe = receivers.front().get();
+  auto delivered_at_warmup = std::make_shared<std::uint64_t>(0);
+  auto blocks_at_warmup = std::make_shared<std::uint64_t>(0);
+  cluster.schedule_at(static_cast<sim::SimTime>(config.warmup_s * kSecond),
+                      [leader_app, probe, blocks_at_warmup, delivered_at_warmup] {
+                        *blocks_at_warmup = leader_app->blocks_created();
+                        *delivered_at_warmup = probe->delivered_envelopes();
+                      });
+  cluster.run_until(total_time);
+
+  LanResult result;
+  const double blocks =
+      static_cast<double>(leader_app->blocks_created() - *blocks_at_warmup);
+  result.block_rate = blocks / config.measure_s;
+  result.throughput_tps =
+      static_cast<double>(probe->delivered_envelopes() - *delivered_at_warmup) /
+      config.measure_s;
+  result.sign_bound_tps = (16.0 / 1.905e-3) *
+                          static_cast<double>(config.block_size) /
+                          (config.double_sign ? 2.0 : 1.0);
+  result.leader_utilization = cluster.protocol_utilization(0);
+  result.delivered_at_receiver =
+      receivers.empty() ? 0 : receivers[0]->delivered_envelopes();
+  return result;
+}
+
+GeoResult run_geo_latency(const GeoConfig& config) {
+  const ordering::GeoTopology topology =
+      config.wheat ? ordering::paper_wheat_topology()
+                   : ordering::paper_bftsmart_topology();
+
+  ordering::ServiceOptions options;
+  for (std::size_t i = 0; i < topology.node_regions.size(); ++i) {
+    options.nodes.push_back(static_cast<ProcessId>(i));
+  }
+  if (config.wheat) {
+    if (config.use_weights) {
+      options.vmax_nodes = ordering::paper_wheat_vmax_nodes();
+    }
+    options.replica_params.tentative_execution = config.use_tentative;
+  }
+  options.block_size = config.block_size;
+  options.stub_signatures = true;
+  options.replica_params.sign_writes = false;
+  options.replica_params.forward_timeout = runtime::sec(10);
+  options.replica_params.stop_timeout = runtime::sec(20);
+  options.replica_params.stall_timeout = runtime::sec(10);
+  options.replica_params.checkpoint_period = 1u << 20;
+
+  ordering::Service service = ordering::make_service(options);
+  runtime::SimCluster cluster(ordering::make_geo_network(topology, config.seed),
+                              config.seed);
+  for (std::size_t i = 0; i < service.nodes.size(); ++i) {
+    cluster.add_process(service.cluster.members()[i],
+                        service.nodes[i].replica.get(), sim::CpuConfig{});
+  }
+
+  std::vector<std::unique_ptr<ordering::Frontend>> frontends;
+  GeoResult result;
+  for (std::size_t j = 0; j < topology.frontend_regions.size(); ++j) {
+    result.frontend_names.push_back(
+        sim::region_name(topology.frontend_regions[j]));
+    frontends.push_back(std::make_unique<ordering::Frontend>(
+        service.cluster, ordering::make_frontend_options(service, options)));
+    cluster.add_process(topology.frontend_base + static_cast<ProcessId>(j),
+                        frontends.back().get());
+  }
+
+  // Poisson arrivals per frontend.
+  Rng arrivals(config.seed ^ 0x9e3779b9);
+  std::uint64_t envelope_id = 0;
+  for (auto& frontend : frontends) {
+    ordering::Frontend* fe = frontend.get();
+    double t_ms = 10.0;
+    while (t_ms < config.duration_s * 1000.0) {
+      t_ms += arrivals.exponential(1000.0 / config.rate_per_frontend);
+      Bytes envelope = make_envelope(envelope_id++, config.envelope_size);
+      cluster.schedule_at(static_cast<sim::SimTime>(t_ms * kMillisecond),
+                          [fe, envelope]() mutable { fe->submit(std::move(envelope)); });
+    }
+  }
+  cluster.run_until(
+      static_cast<sim::SimTime>((config.duration_s + 4.0) * kSecond));
+
+  for (const auto& frontend : frontends) {
+    const auto& h = frontend->latencies();
+    result.samples.push_back(h.count());
+    result.median_ms.push_back(h.empty() ? 0 : h.median());
+    result.p90_ms.push_back(h.empty() ? 0 : h.percentile(0.9));
+  }
+  return result;
+}
+
+std::string format_k(double value) {
+  char buf[32];
+  if (value >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", value / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  }
+  return buf;
+}
+
+}  // namespace bft::bench

@@ -1,0 +1,86 @@
+// Shared experiment harness for the paper-reproduction benchmarks.
+//
+// Two experiment families:
+//   * LAN throughput (Figure 7 / Eq. 1): ordering cluster on a simulated
+//     Gigabit LAN, 32 submitters + r receivers packed onto two client
+//     machines (as in §6.2), closed-loop injection, throughput measured at
+//     ordering node 0;
+//   * WAN latency (Figures 8 and 9): the paper's EC2 topology, Poisson load,
+//     median/p90 submit-to-delivery latency per frontend.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ordering/deployment.hpp"
+#include "ordering/geo.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace bft::bench {
+
+// --------------------------------------------------------------------------
+// LAN throughput (Figure 7)
+// --------------------------------------------------------------------------
+
+struct LanConfig {
+  std::uint32_t orderers = 4;
+  std::size_t block_size = 10;       // envelopes per block
+  std::size_t envelope_size = 1024;  // bytes
+  std::uint32_t receivers = 1;       // frontends receiving blocks
+  std::uint32_t submitters = 32;     // client threads injecting load (§6.2)
+  std::uint32_t outstanding_window = 3200;  // closed-loop credits
+  double warmup_s = 0.4;
+  double measure_s = 1.2;
+  std::uint64_t seed = 1;
+  bool double_sign = false;
+  std::uint32_t batch_max = 400;
+  /// Frontends verify signatures (f+1 blocks suffice) — §5 footnote 8.
+  bool verify_signatures = false;
+  /// NIC bandwidth of the two client machines hosting the receivers and
+  /// submitters, bytes/s. Default: the same Gigabit as the nodes. The
+  /// paper's converged throughput numbers imply substantially more aggregate
+  /// client-side bandwidth (see EXPERIMENTS.md); the comparison bench uses
+  /// this knob to show both readings.
+  double client_bandwidth_bps = 125e6;
+};
+
+struct LanResult {
+  double throughput_tps = 0;      // envelopes/s measured at node 0
+  double block_rate = 0;          // blocks/s at node 0
+  double sign_bound_tps = 0;      // Eq.(1): TPsign * block size (idle-CPU bound)
+  double leader_utilization = 0;  // protocol-thread EWMA at node 0
+  std::uint64_t delivered_at_receiver = 0;
+};
+
+LanResult run_lan_throughput(const LanConfig& config);
+
+// --------------------------------------------------------------------------
+// WAN latency (Figures 8 and 9)
+// --------------------------------------------------------------------------
+
+struct GeoConfig {
+  bool wheat = false;                // 5th replica + weights + tentative exec
+  std::size_t block_size = 10;       // 10 (Fig 8) or 100 (Fig 9)
+  std::size_t envelope_size = 1024;  // 40 / 200 / 1024 / 4096
+  double rate_per_frontend = 300.0;  // tx/s; 4 frontends ≈ 1200 tx/s total
+  double duration_s = 8.0;
+  std::uint64_t seed = 1;
+  // Ablation knobs (bench_ablation_weights): run WHEAT's two mechanisms
+  // independently. Only meaningful when `wheat` is true.
+  bool use_weights = true;
+  bool use_tentative = true;
+};
+
+struct GeoResult {
+  std::vector<std::string> frontend_names;
+  std::vector<double> median_ms;
+  std::vector<double> p90_ms;
+  std::vector<std::size_t> samples;
+};
+
+GeoResult run_geo_latency(const GeoConfig& config);
+
+/// Formats "50.3k" style numbers like the paper's axes.
+std::string format_k(double value);
+
+}  // namespace bft::bench

@@ -1,0 +1,106 @@
+// Geo-distributed ordering (§6.3): BFT-SMaRt (4 nodes: Oregon, Ireland,
+// Sydney, São Paulo) vs WHEAT (+ Virginia, binary weights on Oregon and
+// Virginia) on a simulated WAN built from measured AWS inter-region RTTs.
+// Four frontends (Canada, Oregon, Virginia, São Paulo) inject ~300 tx/s each
+// and report their submit-to-delivery latency.
+//
+//   $ ./build/examples/geo_wheat
+#include <cstdio>
+
+#include "ordering/deployment.hpp"
+#include "ordering/geo.hpp"
+#include "runtime/sim_runtime.hpp"
+
+using namespace bft;
+
+namespace {
+
+struct GeoResult {
+  std::vector<double> median_ms;
+  std::vector<double> p90_ms;
+};
+
+GeoResult run(bool wheat, std::uint64_t seed) {
+  const ordering::GeoTopology topology = wheat
+                                             ? ordering::paper_wheat_topology()
+                                             : ordering::paper_bftsmart_topology();
+
+  ordering::ServiceOptions options;
+  for (std::size_t i = 0; i < topology.node_regions.size(); ++i) {
+    options.nodes.push_back(static_cast<runtime::ProcessId>(i));
+  }
+  if (wheat) {
+    options.vmax_nodes = ordering::paper_wheat_vmax_nodes();
+    options.replica_params.tentative_execution = true;
+  }
+  options.block_size = 10;
+  options.stub_signatures = true;  // calibrated cost, no real ECDSA in the sim
+  options.replica_params.sign_writes = false;
+  options.replica_params.forward_timeout = runtime::sec(5);
+  options.replica_params.stop_timeout = runtime::sec(10);
+
+  ordering::Service service = ordering::make_service(options);
+  runtime::SimCluster cluster(ordering::make_geo_network(topology, seed), seed);
+  for (std::size_t i = 0; i < service.nodes.size(); ++i) {
+    cluster.add_process(service.cluster.members()[i],
+                        service.nodes[i].replica.get(), sim::CpuConfig{});
+  }
+
+  std::vector<std::unique_ptr<ordering::Frontend>> frontends;
+  for (std::size_t j = 0; j < topology.frontend_regions.size(); ++j) {
+    frontends.push_back(std::make_unique<ordering::Frontend>(
+        service.cluster, ordering::make_frontend_options(service, options)));
+    cluster.add_process(topology.frontend_base + static_cast<runtime::ProcessId>(j),
+                        frontends.back().get());
+  }
+
+  // Poisson arrivals, ~300 tx/s per frontend, 1 KB envelopes, 8 s of load.
+  Rng arrivals(seed ^ 0xabcd);
+  for (std::size_t j = 0; j < frontends.size(); ++j) {
+    ordering::Frontend* fe = frontends[j].get();
+    double t_ms = 10.0;
+    int counter = 0;
+    while (t_ms < 8000.0) {
+      t_ms += arrivals.exponential(1000.0 / 300.0);
+      Bytes envelope = to_bytes("fe" + std::to_string(j) + "-tx" +
+                                std::to_string(counter++) + ":");
+      envelope.resize(1024, 0x5a);
+      cluster.schedule_at(static_cast<sim::SimTime>(t_ms * sim::kMillisecond),
+                          [fe, envelope]() mutable { fe->submit(std::move(envelope)); });
+    }
+  }
+  cluster.run_until(12 * sim::kSecond);
+
+  GeoResult result;
+  for (const auto& fe : frontends) {
+    result.median_ms.push_back(fe->latencies().median());
+    result.p90_ms.push_back(fe->latencies().percentile(0.9));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const char* frontend_names[] = {"Canada", "Oregon", "Virginia", "SaoPaulo"};
+  std::printf("Geo-distributed ordering latency (blocks of 10 envelopes, 1 KB "
+              "each, ~1200 tx/s total)\n\n");
+  const GeoResult bftsmart = run(/*wheat=*/false, 1);
+  const GeoResult wheat = run(/*wheat=*/true, 1);
+
+  std::printf("%-10s | %-25s | %-25s | speedup\n", "frontend",
+              "BFT-SMaRt med / p90 (ms)", "WHEAT med / p90 (ms)");
+  std::printf("-----------+---------------------------+----------------------"
+              "-----+--------\n");
+  for (std::size_t j = 0; j < 4; ++j) {
+    std::printf("%-10s | %10.0f / %10.0f | %10.0f / %10.0f | %5.2fx\n",
+                frontend_names[j], bftsmart.median_ms[j], bftsmart.p90_ms[j],
+                wheat.median_ms[j], wheat.p90_ms[j],
+                bftsmart.median_ms[j] / wheat.median_ms[j]);
+  }
+  std::printf("\nWHEAT's weighted quorums + tentative execution cut the\n"
+              "write path to the two Vmax replicas plus one more, roughly\n"
+              "halving WAN latency (paper: 'consistently lower ... by almost "
+              "50%%').\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Byte-buffer primitives shared by every module.
+//
+// A `Bytes` value is the universal currency of the system: envelopes, blocks,
+// signatures and wire messages are all carried as owned byte vectors, with
+// `ByteView` used on read-only paths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bft {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Renders `data` as lowercase hexadecimal ("" for empty input).
+std::string to_hex(ByteView data);
+
+/// Parses lowercase/uppercase hex into bytes. Throws std::invalid_argument on
+/// odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Copies a string's bytes (no encoding transformation).
+Bytes to_bytes(std::string_view text);
+
+/// Interprets bytes as text (caller asserts the payload is printable).
+std::string to_string(ByteView data);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, ByteView src);
+
+/// Concatenates any number of byte views.
+Bytes concat(std::initializer_list<ByteView> parts);
+
+/// Constant-time equality; use for comparing MACs/signatures.
+bool constant_time_equal(ByteView a, ByteView b);
+
+}  // namespace bft

@@ -1,0 +1,66 @@
+#include "common/cli.hpp"
+
+#include <stdexcept>
+
+namespace bft {
+
+CliFlags::CliFlags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      throw std::invalid_argument("unexpected argument: " + arg);
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool CliFlags::has(const std::string& name) const {
+  used_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string CliFlags::get(const std::string& name, const std::string& fallback) const {
+  used_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name, std::int64_t fallback) const {
+  auto v = get(name, "");
+  return v.empty() ? fallback : std::stoll(v);
+}
+
+double CliFlags::get_double(const std::string& name, double fallback) const {
+  auto v = get(name, "");
+  return v.empty() ? fallback : std::stod(v);
+}
+
+bool CliFlags::get_bool(const std::string& name, bool fallback) const {
+  auto v = get(name, "");
+  if (v.empty()) return fallback;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("flag --" + name + ": expected boolean, got " + v);
+}
+
+std::string CliFlags::unused() const {
+  std::string out;
+  for (const auto& [k, v] : values_) {
+    (void)v;
+    if (!used_.count(k)) {
+      if (!out.empty()) out += ", ";
+      out += "--" + k;
+    }
+  }
+  return out;
+}
+
+}  // namespace bft

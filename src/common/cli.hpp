@@ -1,0 +1,31 @@
+// Minimal command-line flag parsing for benches and examples.
+// Supports `--name value` and `--name=value`; unknown flags are an error so
+// experiment scripts fail loudly on typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bft {
+
+class CliFlags {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  CliFlags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Flags the caller never queried (typo detection); empty when all consumed.
+  std::string unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace bft

@@ -1,0 +1,49 @@
+// Tiny leveled logger.
+//
+// Thread-safe, writes to stderr, off-by-default below `warn` so benchmark
+// output stays clean. Use BFT_LOG(info) << "..."; the stream is only
+// materialized when the level is enabled.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace bft {
+
+enum class LogLevel { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+void emit_log(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { emit_log(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace bft
+
+#define BFT_LOG(level)                                  \
+  if (::bft::LogLevel::level < ::bft::log_level()) {    \
+  } else                                                \
+    ::bft::detail::LogLine(::bft::LogLevel::level)

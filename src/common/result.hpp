@@ -1,0 +1,73 @@
+// Lightweight expected-style result for operations whose failure is a normal
+// outcome (signature verification, message decoding, policy evaluation).
+// Exceptions remain reserved for programming and configuration errors.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace bft {
+
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional value conversion.
+  Result(T value) : value_(std::move(value)) {}
+
+  static Result failure(std::string error) {
+    Result r;
+    r.error_ = std::move(error);
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    require_ok();
+    return *value_;
+  }
+  T& value() & {
+    require_ok();
+    return *value_;
+  }
+  T take() && {
+    require_ok();
+    return std::move(*value_);
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  Result() = default;
+  void require_ok() const {
+    if (!ok()) throw std::logic_error("Result::value on failure: " + error_);
+  }
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+/// Result with no payload — success or an error message.
+class Status {
+ public:
+  static Status ok() { return Status(); }
+  static Status failure(std::string error) {
+    Status s;
+    s.error_ = std::move(error);
+    s.ok_ = false;
+    return s;
+  }
+
+  bool is_ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace bft

@@ -1,0 +1,93 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace bft {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next() : uniform(span));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = uniform01();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::gaussian() {
+  double u1;
+  do {
+    u1 = uniform01();
+  } while (u1 == 0.0);
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+double Rng::lognormal_factor(double sigma) {
+  // exp(N(-sigma^2/2, sigma)) has mean exactly 1.
+  return std::exp(gaussian() * sigma - 0.5 * sigma * sigma);
+}
+
+Bytes Rng::bytes(std::size_t n) {
+  Bytes out(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::uint64_t r = next();
+    for (int b = 0; b < 8 && i < n; ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(r >> (8 * b));
+    }
+  }
+  return out;
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+}  // namespace bft

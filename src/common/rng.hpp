@@ -1,0 +1,56 @@
+// Deterministic pseudo-random generation.
+//
+// All simulation randomness flows through `Rng` (xoshiro256**, seeded via
+// SplitMix64) so that every benchmark run is reproducible from a single seed.
+// Never use std::random_device / rand() inside the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace bft {
+
+/// xoshiro256** seeded deterministically; also satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias; bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Exponential with the given mean (> 0); used for Poisson arrivals.
+  double exponential(double mean);
+
+  /// Log-normal shaped jitter: returns a multiplicative factor with mean ~1
+  /// and the given coefficient of variation (sigma of underlying normal).
+  double lognormal_factor(double sigma);
+
+  /// Standard normal via Box-Muller.
+  double gaussian();
+
+  /// `n` random bytes (test keys, payload filler).
+  Bytes bytes(std::size_t n);
+
+  /// Derives an independent child generator (per-node streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bft

@@ -1,0 +1,54 @@
+#include "consensus/quorum.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace bft::consensus {
+
+QuorumSystem::QuorumSystem(std::vector<Weight> weights, std::uint32_t f)
+    : weights_(std::move(weights)), f_(f) {
+  total_ = std::accumulate(weights_.begin(), weights_.end(), Weight{0});
+  const Weight vmax = *std::max_element(weights_.begin(), weights_.end());
+  const Weight f_vmax = static_cast<Weight>(f_) * vmax;
+  quorum_ = (total_ + f_vmax) / 2 + 1;
+  evidence_ = f_vmax + 1;
+  if (quorum_ > total_) {
+    throw std::invalid_argument("QuorumSystem: quorum unattainable (n too small for f)");
+  }
+}
+
+QuorumSystem QuorumSystem::classic(std::uint32_t n) {
+  if (n == 0) throw std::invalid_argument("QuorumSystem: n must be positive");
+  // f = floor((n-1)/3); n in {1,2,3} yields f = 0 (majority quorums, used by
+  // crash-fault baselines and degenerate test setups).
+  const std::uint32_t f = (n - 1) / 3;
+  return QuorumSystem(std::vector<Weight>(n, 1), f);
+}
+
+QuorumSystem QuorumSystem::wheat(std::uint32_t n, std::uint32_t f,
+                                 const std::set<ReplicaId>& vmax_replicas) {
+  if (f == 0) throw std::invalid_argument("wheat: f must be >= 1");
+  if (n < 3 * f + 1) throw std::invalid_argument("wheat: need n >= 3f+1");
+  const std::uint32_t delta = n - (3 * f + 1);
+  if (vmax_replicas.size() != 2 * f) {
+    throw std::invalid_argument("wheat: exactly 2f replicas must carry Vmax");
+  }
+  for (ReplicaId id : vmax_replicas) {
+    if (id >= n) throw std::invalid_argument("wheat: Vmax replica id out of range");
+  }
+  // Scaled by f: Vmax = f + delta, Vmin = f.
+  std::vector<Weight> weights(n, f);
+  for (ReplicaId id : vmax_replicas) weights[id] = f + delta;
+  return QuorumSystem(std::move(weights), f);
+}
+
+Weight QuorumSystem::weight_of_set(const std::set<ReplicaId>& replicas) const {
+  Weight sum = 0;
+  for (ReplicaId id : replicas) {
+    if (id < weights_.size()) sum += weights_[id];
+  }
+  return sum;
+}
+
+}  // namespace bft::consensus

@@ -1,0 +1,80 @@
+// Quorum systems for BFT-SMaRt (uniform votes) and WHEAT (weighted votes).
+//
+// BFT-SMaRt with n = 3f+1 replicas needs ceil((n+f+1)/2) matching WRITE or
+// ACCEPT messages. WHEAT [23] adds Δ spare replicas and assigns the binary
+// weight distribution: 2f replicas get Vmax = 1 + Δ/f, the rest Vmin = 1.
+// Quorums are then "any set with vote weight >= Qv" where Qv is the smallest
+// weight guaranteeing that two quorums intersect in a correct replica:
+//
+//     2*Qv - Tv > f * Vmax   =>   Qv = floor((Tv + f*Vmax) / 2) + 1
+//
+// With Δ = 0 this degenerates to the classic ceil((n+f+1)/2). Weights are
+// stored scaled by f so everything stays integral (Vmax -> f+Δ, Vmin -> f).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace bft::consensus {
+
+using ReplicaId = std::uint32_t;
+using Weight = std::uint64_t;
+/// Consensus slot number (1-based; 0 means "nothing decided yet").
+using ConsensusId = std::uint64_t;
+/// Regency / view number.
+using Epoch = std::uint32_t;
+
+class QuorumSystem {
+ public:
+  /// Uniform weights; requires n >= 3f+1 with f = floor((n-1)/3) >= 1 unless
+  /// n == 1 (degenerate single-node setup used in some unit tests).
+  static QuorumSystem classic(std::uint32_t n);
+
+  /// WHEAT binary weights for n = 3f+1+delta replicas. `vmax_replicas` picks
+  /// which 2f replicas carry Vmax (typically the best-connected ones).
+  static QuorumSystem wheat(std::uint32_t n, std::uint32_t f,
+                            const std::set<ReplicaId>& vmax_replicas);
+
+  std::uint32_t n() const { return static_cast<std::uint32_t>(weights_.size()); }
+  std::uint32_t f() const { return f_; }
+  /// Weight of a replica; 0 for out-of-range ids (tolerates votes recorded
+  /// just before a membership shrink).
+  Weight weight_of(ReplicaId id) const {
+    return id < weights_.size() ? weights_[id] : 0;
+  }
+  const std::vector<Weight>& weights() const { return weights_; }
+
+  Weight total_weight() const { return total_; }
+  /// Minimal weight of a Byzantine-quorum (WRITE/ACCEPT threshold).
+  Weight quorum_weight() const { return quorum_; }
+  /// Minimal weight that must contain at least one correct replica
+  /// (f*Vmax + 1): the STOP-join / proof-of-misbehaviour threshold.
+  Weight evidence_weight() const { return evidence_; }
+
+  /// Sum of weights over a replica set (ignores unknown ids).
+  Weight weight_of_set(const std::set<ReplicaId>& replicas) const;
+
+  bool is_quorum(const std::set<ReplicaId>& replicas) const {
+    return weight_of_set(replicas) >= quorum_;
+  }
+  bool is_evidence(const std::set<ReplicaId>& replicas) const {
+    return weight_of_set(replicas) >= evidence_;
+  }
+
+  /// Count-based thresholds used where the paper counts replies rather than
+  /// weighing them (frontend block collection, state transfer).
+  std::uint32_t count_2f_plus_1() const { return 2 * f_ + 1; }
+  std::uint32_t count_f_plus_1() const { return f_ + 1; }
+
+ private:
+  QuorumSystem(std::vector<Weight> weights, std::uint32_t f);
+
+  std::vector<Weight> weights_;
+  std::uint32_t f_;
+  Weight total_;
+  Weight quorum_;
+  Weight evidence_;
+};
+
+}  // namespace bft::consensus

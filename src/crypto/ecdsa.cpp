@@ -1,0 +1,180 @@
+#include "crypto/ecdsa.hpp"
+
+#include <cstring>
+
+#include "crypto/hmac.hpp"
+
+namespace bft::crypto {
+
+namespace {
+
+namespace ec = secp256k1;
+
+/// bits2int for a 256-bit curve with a 256-bit hash: interpret big-endian,
+/// then reduce mod n (one conditional subtraction suffices).
+U256 digest_to_scalar(const Hash256& digest) {
+  const U256 e = U256::from_be_bytes(ByteView(digest.data(), digest.size()));
+  return ec::order().reduce(e);
+}
+
+}  // namespace
+
+Bytes Signature::to_bytes() const {
+  Bytes out = r.to_be_bytes();
+  append(out, s.to_be_bytes());
+  return out;
+}
+
+Result<Signature> Signature::from_bytes(ByteView data) {
+  if (data.size() != 64) {
+    return Result<Signature>::failure("signature must be 64 bytes");
+  }
+  Signature sig{U256::from_be_bytes(data.subspan(0, 32)),
+                U256::from_be_bytes(data.subspan(32, 32))};
+  const U256& n = ec::order_n();
+  if (sig.r.is_zero() || sig.s.is_zero() || !(sig.r < n) || !(sig.s < n)) {
+    return Result<Signature>::failure("signature scalar out of range");
+  }
+  return sig;
+}
+
+Bytes PublicKey::to_bytes() const {
+  Bytes out;
+  out.reserve(33);
+  out.push_back(point_.y.is_odd() ? 0x03 : 0x02);
+  append(out, point_.x.to_be_bytes());
+  return out;
+}
+
+Result<PublicKey> PublicKey::from_bytes(ByteView data) {
+  if (data.size() != 33 || (data[0] != 0x02 && data[0] != 0x03)) {
+    return Result<PublicKey>::failure("invalid compressed point encoding");
+  }
+  const U256 x = U256::from_be_bytes(data.subspan(1, 32));
+  const auto point = ec::lift_x(x, data[0] == 0x03);
+  if (!point) {
+    return Result<PublicKey>::failure("x coordinate not on curve");
+  }
+  return PublicKey(*point);
+}
+
+bool PublicKey::verify(const Hash256& digest, const Signature& sig) const {
+  const ModArith& fn = ec::order();
+  const U256& n = ec::order_n();
+  if (sig.r.is_zero() || sig.s.is_zero() || !(sig.r < n) || !(sig.s < n)) {
+    return false;
+  }
+  const U256 e = digest_to_scalar(digest);
+
+  const U256 s_mont = fn.to_mont(sig.s);
+  const U256 w_mont = fn.inv(s_mont);
+  const U256 u1 = fn.from_mont(fn.mul(fn.to_mont(e), w_mont));
+  const U256 u2 = fn.from_mont(fn.mul(fn.to_mont(sig.r), w_mont));
+
+  const ec::Jacobian rp = ec::double_scalar_mul(u1, u2, point_);
+  if (rp.is_infinity()) return false;
+
+  // R.x < p < 2n, so one conditional subtraction reduces it mod n.
+  const ec::Affine aff = ec::to_affine(rp);
+  const U256 rx = ec::order().reduce(aff.x);
+  return rx == sig.r;
+}
+
+PrivateKey PrivateKey::generate(Rng& rng) {
+  for (;;) {
+    const Bytes candidate = rng.bytes(32);
+    auto key = from_bytes(candidate);
+    if (key.ok()) return std::move(key).take();
+  }
+}
+
+PrivateKey PrivateKey::from_seed(ByteView seed) {
+  Bytes material(seed.begin(), seed.end());
+  for (;;) {
+    const Hash256 h = sha256(material);
+    auto key = from_bytes(ByteView(h.data(), h.size()));
+    if (key.ok()) return std::move(key).take();
+    material = hash_bytes(h);  // extremely unlikely; rehash and retry
+  }
+}
+
+Result<PrivateKey> PrivateKey::from_bytes(ByteView data) {
+  if (data.size() != 32) {
+    return Result<PrivateKey>::failure("private key must be 32 bytes");
+  }
+  const U256 d = U256::from_be_bytes(data);
+  if (d.is_zero() || !(d < ec::order_n())) {
+    return Result<PrivateKey>::failure("private scalar out of range");
+  }
+  return PrivateKey(d);
+}
+
+PublicKey PrivateKey::public_key() const {
+  return PublicKey(ec::to_affine(ec::generator_mul(d_)));
+}
+
+U256 rfc6979_nonce(const U256& priv, const Hash256& digest) {
+  // RFC 6979 §3.2 with SHA-256; h1 is already the message digest.
+  const Bytes x = priv.to_be_bytes();
+  const U256 e = digest_to_scalar(digest);
+  const Bytes h1 = e.to_be_bytes();  // bits2octets(H(m))
+
+  std::array<std::uint8_t, 32> v;
+  v.fill(0x01);
+  std::array<std::uint8_t, 32> k;
+  k.fill(0x00);
+
+  auto mac = [&](std::initializer_list<ByteView> parts) {
+    HmacSha256 h(ByteView(k.data(), k.size()));
+    for (const auto& p : parts) h.update(p);
+    return h.finish();
+  };
+  const std::uint8_t zero = 0x00;
+  const std::uint8_t one = 0x01;
+
+  k = mac({ByteView(v.data(), v.size()), ByteView(&zero, 1), ByteView(x), ByteView(h1)});
+  v = mac({ByteView(v.data(), v.size())});
+  k = mac({ByteView(v.data(), v.size()), ByteView(&one, 1), ByteView(x), ByteView(h1)});
+  v = mac({ByteView(v.data(), v.size())});
+
+  for (;;) {
+    v = mac({ByteView(v.data(), v.size())});
+    const U256 candidate = U256::from_be_bytes(ByteView(v.data(), v.size()));
+    if (!candidate.is_zero() && candidate < ec::order_n()) return candidate;
+    k = mac({ByteView(v.data(), v.size()), ByteView(&zero, 1)});
+    v = mac({ByteView(v.data(), v.size())});
+  }
+}
+
+Signature PrivateKey::sign(const Hash256& digest) const {
+  const ModArith& fn = ec::order();
+  const U256 e = digest_to_scalar(digest);
+
+  U256 nonce = rfc6979_nonce(d_, digest);
+  for (;;) {
+    const ec::Affine rp = ec::to_affine(ec::generator_mul(nonce));
+    const U256 r = fn.reduce(rp.x);
+    if (!r.is_zero()) {
+      // s = k^-1 (e + r d) mod n
+      const U256 k_mont = fn.to_mont(nonce);
+      const U256 kinv = fn.inv(k_mont);
+      const U256 rd = fn.mul(fn.to_mont(r), fn.to_mont(d_));
+      const U256 sum = fn.add(fn.to_mont(e), rd);
+      U256 s = fn.from_mont(fn.mul(kinv, sum));
+      if (!s.is_zero()) {
+        if (ec::half_order() < s) {
+          U256 flipped;
+          sub_with_borrow(ec::order_n(), s, flipped);
+          s = flipped;
+        }
+        return Signature{r, s};
+      }
+    }
+    // Degenerate nonce (probability ~2^-256): derive a fresh one.
+    const Hash256 retry = sha256(nonce.to_be_bytes());
+    nonce = ec::order().reduce(U256::from_be_bytes(ByteView(retry.data(), 32)));
+    if (nonce.is_zero()) nonce = U256::one();
+  }
+}
+
+}  // namespace bft::crypto

@@ -1,0 +1,24 @@
+// HMAC-SHA256 (RFC 2104), used by the RFC-6979 deterministic nonce generator.
+#pragma once
+
+#include "crypto/sha256.hpp"
+
+namespace bft::crypto {
+
+/// Streaming HMAC-SHA256 keyed at construction.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(ByteView key);
+
+  void update(ByteView data);
+  Hash256 finish();
+
+ private:
+  std::array<std::uint8_t, 64> opad_key_;
+  Sha256 inner_;
+};
+
+/// One-shot convenience.
+Hash256 hmac_sha256(ByteView key, ByteView data);
+
+}  // namespace bft::crypto

@@ -1,0 +1,129 @@
+#include "crypto/modarith.hpp"
+
+#include <stdexcept>
+
+namespace bft::crypto {
+
+using u128 = unsigned __int128;
+
+ModArith::ModArith(const U256& modulus) : m_(modulus) {
+  if (!modulus.is_odd()) throw std::invalid_argument("ModArith: modulus must be odd");
+  if (modulus.highest_bit() != 255) {
+    throw std::invalid_argument("ModArith: modulus must be a 256-bit value");
+  }
+
+  // Inverse of m[0] mod 2^64 by Newton iteration, then negate.
+  std::uint64_t inv = m_.limbs[0];
+  for (int i = 0; i < 5; ++i) inv *= 2 - m_.limbs[0] * inv;
+  n0inv_ = ~inv + 1;
+
+  // R mod m: since 2^255 < m < 2^256 we have 2^256 mod m == 2^256 - m.
+  sub_with_borrow(U256::zero(), m_, r_mod_m_);
+
+  // R^2 mod m by 256 modular doublings of R mod m.
+  U256 acc = r_mod_m_;
+  for (int i = 0; i < 256; ++i) acc = add(acc, acc);
+  r2_mod_m_ = acc;
+}
+
+U256 ModArith::add(const U256& a, const U256& b) const {
+  U256 sum;
+  const std::uint64_t carry = add_with_carry(a, b, sum);
+  if (carry != 0 || cmp(sum, m_) >= 0) {
+    U256 reduced;
+    sub_with_borrow(sum, m_, reduced);
+    return reduced;
+  }
+  return sum;
+}
+
+U256 ModArith::sub(const U256& a, const U256& b) const {
+  U256 diff;
+  const std::uint64_t borrow = sub_with_borrow(a, b, diff);
+  if (borrow != 0) {
+    U256 fixed;
+    add_with_carry(diff, m_, fixed);
+    return fixed;
+  }
+  return diff;
+}
+
+U256 ModArith::neg(const U256& a) const {
+  if (a.is_zero()) return a;
+  U256 out;
+  sub_with_borrow(m_, a, out);
+  return out;
+}
+
+U256 ModArith::mul(const U256& a, const U256& b) const {
+  // CIOS Montgomery multiplication, 4 x 64-bit limbs.
+  std::uint64_t t[6] = {0, 0, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    // t += a[i] * b
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(a.limbs[i]) * b.limbs[j] + t[j] + carry;
+      t[j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    {
+      const u128 cur = static_cast<u128>(t[4]) + carry;
+      t[4] = static_cast<std::uint64_t>(cur);
+      t[5] = static_cast<std::uint64_t>(cur >> 64);
+    }
+
+    // Reduce one limb: t = (t + q*m) / 2^64 with q chosen so the low limb
+    // cancels.
+    const std::uint64_t q = t[0] * n0inv_;
+    u128 cur = static_cast<u128>(q) * m_.limbs[0] + t[0];
+    carry = static_cast<std::uint64_t>(cur >> 64);
+    for (std::size_t j = 1; j < 4; ++j) {
+      cur = static_cast<u128>(q) * m_.limbs[j] + t[j] + carry;
+      t[j - 1] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    cur = static_cast<u128>(t[4]) + carry;
+    t[3] = static_cast<std::uint64_t>(cur);
+    t[4] = t[5] + static_cast<std::uint64_t>(cur >> 64);
+    t[5] = 0;
+  }
+
+  U256 out{{t[0], t[1], t[2], t[3]}};
+  if (t[4] != 0 || cmp(out, m_) >= 0) {
+    U256 reduced;
+    sub_with_borrow(out, m_, reduced);
+    return reduced;
+  }
+  return out;
+}
+
+U256 ModArith::to_mont(const U256& a) const { return mul(a, r2_mod_m_); }
+
+U256 ModArith::from_mont(const U256& a) const { return mul(a, U256::one()); }
+
+U256 ModArith::pow(const U256& base, const U256& exp) const {
+  U256 result = r_mod_m_;  // 1 in Montgomery form
+  const int top = exp.highest_bit();
+  for (int i = top; i >= 0; --i) {
+    result = sqr(result);
+    if (exp.bit(static_cast<unsigned>(i))) result = mul(result, base);
+  }
+  return result;
+}
+
+U256 ModArith::inv(const U256& a) const {
+  if (a.is_zero()) throw std::domain_error("ModArith::inv: zero has no inverse");
+  U256 exp;
+  sub_with_borrow(m_, U256::from_u64(2), exp);
+  return pow(a, exp);
+}
+
+U256 ModArith::reduce(const U256& a) const {
+  if (cmp(a, m_) < 0) return a;
+  U256 out;
+  sub_with_borrow(a, m_, out);
+  // Input < 2^256 < 2m, so one subtraction suffices.
+  return out;
+}
+
+}  // namespace bft::crypto

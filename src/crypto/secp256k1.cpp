@@ -1,0 +1,247 @@
+#include "crypto/secp256k1.hpp"
+
+#include <array>
+#include <vector>
+
+namespace bft::crypto::secp256k1 {
+
+namespace {
+
+const char* const kP =
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f";
+const char* const kN =
+    "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141";
+const char* const kGx =
+    "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798";
+const char* const kGy =
+    "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8";
+
+// Window table: table[i] = (i+1) * P for i in [0, 15), points Jacobian.
+using WindowTable = std::array<Jacobian, 15>;
+
+WindowTable build_table(const Affine& p) {
+  WindowTable table;
+  table[0] = to_jacobian(p);
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    table[i] = add_mixed(table[i - 1], p);
+  }
+  return table;
+}
+
+Jacobian windowed_mul(const WindowTable& table, const U256& k) {
+  Jacobian acc = Jacobian::infinity();
+  bool started = false;
+  for (int nibble = 63; nibble >= 0; --nibble) {
+    if (started) acc = dbl(dbl(dbl(dbl(acc))));
+    const unsigned limb = static_cast<unsigned>(nibble) / 16;
+    const unsigned shift = (static_cast<unsigned>(nibble) % 16) * 4;
+    const unsigned digit = static_cast<unsigned>((k.limbs[limb] >> shift) & 0xf);
+    if (digit != 0) {
+      acc = add(acc, table[digit - 1]);
+      started = true;
+    }
+  }
+  return acc;
+}
+
+const WindowTable& generator_table() {
+  static const WindowTable table = build_table(generator());
+  return table;
+}
+
+}  // namespace
+
+const ModArith& field() {
+  static const ModArith fp(U256::from_hex(kP));
+  return fp;
+}
+
+const ModArith& order() {
+  static const ModArith fn(U256::from_hex(kN));
+  return fn;
+}
+
+const U256& order_n() {
+  static const U256 n = U256::from_hex(kN);
+  return n;
+}
+
+const U256& half_order() {
+  static const U256 half = shr1(order_n());
+  return half;
+}
+
+const Affine& generator() {
+  static const Affine g{U256::from_hex(kGx), U256::from_hex(kGy), false};
+  return g;
+}
+
+bool Affine::operator==(const Affine& other) const {
+  if (infinity || other.infinity) return infinity == other.infinity;
+  return x == other.x && y == other.y;
+}
+
+Jacobian Jacobian::infinity() {
+  return Jacobian{field().mont_one(), field().mont_one(), U256::zero()};
+}
+
+Jacobian to_jacobian(const Affine& p) {
+  if (p.infinity) return Jacobian::infinity();
+  const ModArith& fp = field();
+  return Jacobian{fp.to_mont(p.x), fp.to_mont(p.y), fp.mont_one()};
+}
+
+Affine to_affine(const Jacobian& p) {
+  if (p.is_infinity()) return Affine{U256::zero(), U256::zero(), true};
+  const ModArith& fp = field();
+  const U256 zinv = fp.inv(p.z);
+  const U256 zinv2 = fp.sqr(zinv);
+  const U256 zinv3 = fp.mul(zinv2, zinv);
+  return Affine{fp.from_mont(fp.mul(p.x, zinv2)),
+                fp.from_mont(fp.mul(p.y, zinv3)), false};
+}
+
+Jacobian dbl(const Jacobian& p) {
+  if (p.is_infinity() || p.y.is_zero()) return Jacobian::infinity();
+  const ModArith& fp = field();
+  const U256 a = fp.sqr(p.x);
+  const U256 b = fp.sqr(p.y);
+  const U256 c = fp.sqr(b);
+  U256 d = fp.sqr(fp.add(p.x, b));
+  d = fp.sub(fp.sub(d, a), c);
+  d = fp.add(d, d);
+  const U256 e = fp.add(fp.add(a, a), a);
+  const U256 f = fp.sqr(e);
+  const U256 x3 = fp.sub(f, fp.add(d, d));
+  U256 c8 = fp.add(c, c);
+  c8 = fp.add(c8, c8);
+  c8 = fp.add(c8, c8);
+  const U256 y3 = fp.sub(fp.mul(e, fp.sub(d, x3)), c8);
+  const U256 yz = fp.mul(p.y, p.z);
+  const U256 z3 = fp.add(yz, yz);
+  return Jacobian{x3, y3, z3};
+}
+
+Jacobian add(const Jacobian& p, const Jacobian& q) {
+  if (p.is_infinity()) return q;
+  if (q.is_infinity()) return p;
+  const ModArith& fp = field();
+  const U256 z1z1 = fp.sqr(p.z);
+  const U256 z2z2 = fp.sqr(q.z);
+  const U256 u1 = fp.mul(p.x, z2z2);
+  const U256 u2 = fp.mul(q.x, z1z1);
+  const U256 s1 = fp.mul(fp.mul(p.y, q.z), z2z2);
+  const U256 s2 = fp.mul(fp.mul(q.y, p.z), z1z1);
+  if (u1 == u2) {
+    if (!(s1 == s2)) return Jacobian::infinity();
+    return dbl(p);
+  }
+  const U256 h = fp.sub(u2, u1);
+  const U256 h2 = fp.add(h, h);
+  const U256 i = fp.sqr(h2);
+  const U256 j = fp.mul(h, i);
+  U256 r = fp.sub(s2, s1);
+  r = fp.add(r, r);
+  const U256 v = fp.mul(u1, i);
+  const U256 x3 = fp.sub(fp.sub(fp.sqr(r), j), fp.add(v, v));
+  const U256 s1j = fp.mul(s1, j);
+  const U256 y3 = fp.sub(fp.mul(r, fp.sub(v, x3)), fp.add(s1j, s1j));
+  U256 z3 = fp.sqr(fp.add(p.z, q.z));
+  z3 = fp.sub(fp.sub(z3, z1z1), z2z2);
+  z3 = fp.mul(z3, h);
+  return Jacobian{x3, y3, z3};
+}
+
+Jacobian add_mixed(const Jacobian& p, const Affine& q) {
+  if (q.infinity) return p;
+  const ModArith& fp = field();
+  const U256 qx = fp.to_mont(q.x);
+  const U256 qy = fp.to_mont(q.y);
+  if (p.is_infinity()) return Jacobian{qx, qy, fp.mont_one()};
+  const U256 z1z1 = fp.sqr(p.z);
+  const U256 u2 = fp.mul(qx, z1z1);
+  const U256 s2 = fp.mul(fp.mul(qy, p.z), z1z1);
+  if (p.x == u2) {
+    if (!(p.y == s2)) return Jacobian::infinity();
+    return dbl(p);
+  }
+  const U256 h = fp.sub(u2, p.x);
+  const U256 hh = fp.sqr(h);
+  U256 i = fp.add(hh, hh);
+  i = fp.add(i, i);
+  const U256 j = fp.mul(h, i);
+  U256 r = fp.sub(s2, p.y);
+  r = fp.add(r, r);
+  const U256 v = fp.mul(p.x, i);
+  const U256 x3 = fp.sub(fp.sub(fp.sqr(r), j), fp.add(v, v));
+  const U256 yj = fp.mul(p.y, j);
+  const U256 y3 = fp.sub(fp.mul(r, fp.sub(v, x3)), fp.add(yj, yj));
+  U256 z3 = fp.sqr(fp.add(p.z, h));
+  z3 = fp.sub(fp.sub(z3, z1z1), hh);
+  return Jacobian{x3, y3, z3};
+}
+
+Jacobian scalar_mul(const Affine& p, const U256& k) {
+  if (p.infinity || k.is_zero()) return Jacobian::infinity();
+  return windowed_mul(build_table(p), k);
+}
+
+Jacobian generator_mul(const U256& k) {
+  if (k.is_zero()) return Jacobian::infinity();
+  return windowed_mul(generator_table(), k);
+}
+
+Jacobian double_scalar_mul(const U256& u1, const U256& u2, const Affine& q) {
+  // Shamir's trick: shared doubling pass over both scalars, bit by bit.
+  const Jacobian jg = to_jacobian(generator());
+  const Jacobian jq = to_jacobian(q);
+  const Jacobian jgq = add(jg, jq);
+  Jacobian acc = Jacobian::infinity();
+  const int top = std::max(u1.highest_bit(), u2.highest_bit());
+  for (int i = top; i >= 0; --i) {
+    acc = dbl(acc);
+    const bool b1 = u1.bit(static_cast<unsigned>(i));
+    const bool b2 = u2.bit(static_cast<unsigned>(i));
+    if (b1 && b2) {
+      acc = add(acc, jgq);
+    } else if (b1) {
+      acc = add(acc, jg);
+    } else if (b2) {
+      acc = add(acc, jq);
+    }
+  }
+  return acc;
+}
+
+bool on_curve(const Affine& p) {
+  if (p.infinity) return false;
+  const ModArith& fp = field();
+  if (cmp(p.x, fp.modulus()) >= 0 || cmp(p.y, fp.modulus()) >= 0) return false;
+  const U256 x = fp.to_mont(p.x);
+  const U256 y = fp.to_mont(p.y);
+  const U256 lhs = fp.sqr(y);
+  const U256 seven = fp.to_mont(U256::from_u64(7));
+  const U256 rhs = fp.add(fp.mul(fp.sqr(x), x), seven);
+  return lhs == rhs;
+}
+
+std::optional<Affine> lift_x(const U256& x, bool y_odd) {
+  const ModArith& fp = field();
+  if (cmp(x, fp.modulus()) >= 0) return std::nullopt;
+  const U256 xm = fp.to_mont(x);
+  const U256 seven = fp.to_mont(U256::from_u64(7));
+  const U256 rhs = fp.add(fp.mul(fp.sqr(xm), xm), seven);
+
+  // p == 3 (mod 4), so sqrt(a) = a^((p+1)/4) when a is a QR.
+  U256 exp;
+  add_with_carry(fp.modulus(), U256::one(), exp);  // p+1 wraps? p+1 < 2^256 holds.
+  exp = shr1(shr1(exp));
+  const U256 ym = fp.pow(rhs, exp);
+  if (!(fp.sqr(ym) == rhs)) return std::nullopt;
+
+  U256 y = fp.from_mont(ym);
+  if (y.is_odd() != y_odd) y = fp.neg(y);
+  return Affine{x, y, false};
+}
+
+}  // namespace bft::crypto::secp256k1

@@ -1,0 +1,72 @@
+// secp256k1 elliptic-curve group operations (y^2 = x^3 + 7 over F_p).
+//
+// Points are kept in Jacobian coordinates with field elements in Montgomery
+// form; `Affine` is the external representation. Scalar multiplication uses a
+// 4-bit fixed window (variable time — see the side-channel note in
+// modarith.hpp).
+#pragma once
+
+#include <optional>
+
+#include "crypto/modarith.hpp"
+
+namespace bft::crypto::secp256k1 {
+
+/// Base-field arithmetic (mod p). Singleton — construction is nontrivial.
+const ModArith& field();
+/// Scalar arithmetic (mod n, the group order).
+const ModArith& order();
+
+/// Curve order n as an integer.
+const U256& order_n();
+/// n / 2 rounded down (for low-s signature normalization).
+const U256& half_order();
+
+/// Affine point in plain (non-Montgomery) representation.
+struct Affine {
+  U256 x;
+  U256 y;
+  bool infinity = false;
+
+  bool operator==(const Affine& other) const;
+};
+
+/// Jacobian point; field elements in Montgomery form. (X/Z^2, Y/Z^3).
+struct Jacobian {
+  U256 x;
+  U256 y;
+  U256 z;  // zero <=> point at infinity
+
+  static Jacobian infinity();
+  bool is_infinity() const { return z.is_zero(); }
+};
+
+/// The group generator G.
+const Affine& generator();
+
+Jacobian to_jacobian(const Affine& p);
+Affine to_affine(const Jacobian& p);
+
+Jacobian dbl(const Jacobian& p);
+Jacobian add(const Jacobian& p, const Jacobian& q);
+/// p + q with q affine (faster mixed addition).
+Jacobian add_mixed(const Jacobian& p, const Affine& q);
+
+/// k * P via 4-bit window; k is a plain integer (reduced internally mod n is
+/// NOT applied — pass scalars already < n).
+Jacobian scalar_mul(const Affine& p, const U256& k);
+
+/// k * G using a precomputed window table for the generator.
+Jacobian generator_mul(const U256& k);
+
+/// u1*G + u2*Q (Shamir's trick), the ECDSA verification workhorse.
+Jacobian double_scalar_mul(const U256& u1, const U256& u2, const Affine& q);
+
+/// Checks the affine point satisfies the curve equation (and is not infinity).
+bool on_curve(const Affine& p);
+
+/// Lifts an x coordinate to a curve point with the given y parity; nullopt if
+/// x^3 + 7 is not a quadratic residue.
+std::optional<Affine> lift_x(const U256& x, bool y_odd);
+
+}  // namespace bft::crypto::secp256k1

@@ -1,0 +1,49 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for block-header hashing, the blockchain hash chain, transaction ids,
+// ECDSA message digests and RFC-6979 nonce derivation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace bft::crypto {
+
+using Hash256 = std::array<std::uint8_t, 32>;
+
+/// Streaming SHA-256: init -> update* -> finish. Reusable after reset().
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+  Hash256 finish();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// One-shot convenience.
+Hash256 sha256(ByteView data);
+
+/// SHA-256(SHA-256(data)).
+Hash256 sha256d(ByteView data);
+
+/// Hash as an owned byte vector (for serialization paths).
+Bytes hash_bytes(const Hash256& h);
+
+/// Parses exactly 32 bytes into a Hash256; throws std::invalid_argument.
+Hash256 hash_from_bytes(ByteView data);
+
+/// Lowercase hex rendering of a hash.
+std::string hash_hex(const Hash256& h);
+
+}  // namespace bft::crypto

@@ -1,0 +1,121 @@
+#include "crypto/u256.hpp"
+
+#include <stdexcept>
+
+namespace bft::crypto {
+
+using u128 = unsigned __int128;
+
+U256 U256::from_hex(std::string_view hex) {
+  if (hex.empty() || hex.size() > 64) {
+    throw std::invalid_argument("U256::from_hex: need 1..64 hex digits");
+  }
+  std::string padded(64 - hex.size(), '0');
+  padded.append(hex);
+  return from_be_bytes(bft::from_hex(padded));
+}
+
+U256 U256::from_be_bytes(ByteView data) {
+  if (data.size() != 32) {
+    throw std::invalid_argument("U256::from_be_bytes: expected 32 bytes");
+  }
+  U256 out;
+  for (int limb = 0; limb < 4; ++limb) {
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) {
+      v = (v << 8) | data[static_cast<std::size_t>((3 - limb) * 8 + b)];
+    }
+    out.limbs[static_cast<std::size_t>(limb)] = v;
+  }
+  return out;
+}
+
+Bytes U256::to_be_bytes() const {
+  const auto arr = to_be_array();
+  return Bytes(arr.begin(), arr.end());
+}
+
+std::array<std::uint8_t, 32> U256::to_be_array() const {
+  std::array<std::uint8_t, 32> out;
+  for (int limb = 0; limb < 4; ++limb) {
+    const std::uint64_t v = limbs[static_cast<std::size_t>(limb)];
+    for (int b = 0; b < 8; ++b) {
+      out[static_cast<std::size_t>((3 - limb) * 8 + b)] =
+          static_cast<std::uint8_t>(v >> (56 - 8 * b));
+    }
+  }
+  return out;
+}
+
+bool U256::is_zero() const {
+  return (limbs[0] | limbs[1] | limbs[2] | limbs[3]) == 0;
+}
+
+bool U256::bit(unsigned i) const {
+  return ((limbs[i / 64] >> (i % 64)) & 1) != 0;
+}
+
+int U256::highest_bit() const {
+  for (int limb = 3; limb >= 0; --limb) {
+    const std::uint64_t v = limbs[static_cast<std::size_t>(limb)];
+    if (v != 0) return limb * 64 + (63 - __builtin_clzll(v));
+  }
+  return -1;
+}
+
+int cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (a.limbs[idx] < b.limbs[idx]) return -1;
+    if (a.limbs[idx] > b.limbs[idx]) return 1;
+  }
+  return 0;
+}
+
+bool operator<(const U256& a, const U256& b) { return cmp(a, b) < 0; }
+
+std::uint64_t add_with_carry(const U256& a, const U256& b, U256& out) {
+  u128 carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 sum = static_cast<u128>(a.limbs[i]) + b.limbs[i] + carry;
+    out.limbs[i] = static_cast<std::uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  return static_cast<std::uint64_t>(carry);
+}
+
+std::uint64_t sub_with_borrow(const U256& a, const U256& b, U256& out) {
+  u128 borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 diff = static_cast<u128>(a.limbs[i]) - b.limbs[i] - borrow;
+    out.limbs[i] = static_cast<std::uint64_t>(diff);
+    borrow = (diff >> 64) & 1;
+  }
+  return static_cast<std::uint64_t>(borrow);
+}
+
+std::array<std::uint64_t, 8> mul_wide(const U256& a, const U256& b) {
+  std::array<std::uint64_t, 8> out{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(a.limbs[i]) * b.limbs[j] +
+                       out[i + j] + carry;
+      out[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out[i + 4] = carry;
+  }
+  return out;
+}
+
+U256 shr1(const U256& a) {
+  U256 out;
+  for (std::size_t i = 0; i < 4; ++i) {
+    out.limbs[i] = a.limbs[i] >> 1;
+    if (i < 3) out.limbs[i] |= a.limbs[i + 1] << 63;
+  }
+  return out;
+}
+
+}  // namespace bft::crypto

@@ -1,0 +1,183 @@
+#include "fabric/chaincode.hpp"
+
+#include <charconv>
+
+namespace bft::fabric {
+
+std::optional<Bytes> ChaincodeStub::get(const std::string& key) {
+  // Read-your-own-writes within the running transaction.
+  const auto w = write_index_.find(key);
+  if (w != write_index_.end()) {
+    const WriteEntry& entry = writes_[w->second];
+    if (entry.is_delete) return std::nullopt;
+    return entry.value;
+  }
+  if (read_index_.count(key) == 0) {
+    read_index_[key] = reads_.size();
+    reads_.push_back(ReadEntry{key, state_.version_of(key)});
+  }
+  return state_.get(key);
+}
+
+void ChaincodeStub::put(const std::string& key, Bytes value) {
+  const auto it = write_index_.find(key);
+  if (it != write_index_.end()) {
+    writes_[it->second] = WriteEntry{key, std::move(value), false};
+    return;
+  }
+  write_index_[key] = writes_.size();
+  writes_.push_back(WriteEntry{key, std::move(value), false});
+}
+
+void ChaincodeStub::erase(const std::string& key) {
+  const auto it = write_index_.find(key);
+  if (it != write_index_.end()) {
+    writes_[it->second] = WriteEntry{key, {}, true};
+    return;
+  }
+  write_index_[key] = writes_.size();
+  writes_.push_back(WriteEntry{key, {}, true});
+}
+
+RwSet ChaincodeStub::take_rwset(Bytes response) {
+  RwSet set;
+  set.reads = std::move(reads_);
+  set.writes = std::move(writes_);
+  set.response = std::move(response);
+  reads_.clear();
+  writes_.clear();
+  read_index_.clear();
+  write_index_.clear();
+  return set;
+}
+
+namespace {
+
+Result<std::int64_t> parse_amount(const std::string& text) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return Result<std::int64_t>::failure("invalid amount: " + text);
+  }
+  return value;
+}
+
+Result<std::int64_t> read_balance(ChaincodeStub& stub, const std::string& account) {
+  const auto raw = stub.get("acct:" + account);
+  if (!raw.has_value()) {
+    return Result<std::int64_t>::failure("no such account: " + account);
+  }
+  return parse_amount(bft::to_string(*raw));
+}
+
+void write_balance(ChaincodeStub& stub, const std::string& account,
+                   std::int64_t balance) {
+  stub.put("acct:" + account, to_bytes(std::to_string(balance)));
+}
+
+}  // namespace
+
+const std::string& KvChaincode::name() const {
+  static const std::string n = "kv";
+  return n;
+}
+
+Result<Bytes> KvChaincode::invoke(ChaincodeStub& stub,
+                                  const std::vector<std::string>& args) {
+  if (args.empty()) return Result<Bytes>::failure("kv: missing operation");
+  const std::string& op = args[0];
+  if (op == "put" && args.size() == 3) {
+    stub.put(args[1], to_bytes(args[2]));
+    return to_bytes("ok");
+  }
+  if (op == "get" && args.size() == 2) {
+    const auto value = stub.get(args[1]);
+    if (!value.has_value()) return Result<Bytes>::failure("kv: no such key");
+    return *value;
+  }
+  if (op == "del" && args.size() == 2) {
+    stub.erase(args[1]);
+    return to_bytes("ok");
+  }
+  return Result<Bytes>::failure("kv: bad invocation");
+}
+
+const std::string& TokenChaincode::name() const {
+  static const std::string n = "token";
+  return n;
+}
+
+Result<Bytes> TokenChaincode::invoke(ChaincodeStub& stub,
+                                     const std::vector<std::string>& args) {
+  if (args.empty()) return Result<Bytes>::failure("token: missing operation");
+  const std::string& op = args[0];
+  if (op == "open" && args.size() == 3) {
+    if (stub.get("acct:" + args[1]).has_value()) {
+      return Result<Bytes>::failure("token: account exists");
+    }
+    auto amount = parse_amount(args[2]);
+    if (!amount.ok()) return Result<Bytes>::failure(amount.error());
+    if (amount.value() < 0) return Result<Bytes>::failure("token: negative opening");
+    write_balance(stub, args[1], amount.value());
+    return to_bytes("ok");
+  }
+  if (op == "transfer" && args.size() == 4) {
+    auto amount = parse_amount(args[3]);
+    if (!amount.ok()) return Result<Bytes>::failure(amount.error());
+    if (amount.value() <= 0) return Result<Bytes>::failure("token: non-positive amount");
+    auto from = read_balance(stub, args[1]);
+    if (!from.ok()) return Result<Bytes>::failure(from.error());
+    auto to = read_balance(stub, args[2]);
+    if (!to.ok()) return Result<Bytes>::failure(to.error());
+    if (from.value() < amount.value()) {
+      return Result<Bytes>::failure("token: insufficient funds");
+    }
+    write_balance(stub, args[1], from.value() - amount.value());
+    write_balance(stub, args[2], to.value() + amount.value());
+    return to_bytes("ok");
+  }
+  if (op == "balance" && args.size() == 2) {
+    auto balance = read_balance(stub, args[1]);
+    if (!balance.ok()) return Result<Bytes>::failure(balance.error());
+    return to_bytes(std::to_string(balance.value()));
+  }
+  return Result<Bytes>::failure("token: bad invocation");
+}
+
+const std::string& AssetChaincode::name() const {
+  static const std::string n = "asset";
+  return n;
+}
+
+Result<Bytes> AssetChaincode::invoke(ChaincodeStub& stub,
+                                     const std::vector<std::string>& args) {
+  if (args.empty()) return Result<Bytes>::failure("asset: missing operation");
+  const std::string& op = args[0];
+  if (op == "create" && args.size() == 4) {
+    const std::string key = "asset:" + args[1];
+    if (stub.get(key).has_value()) {
+      return Result<Bytes>::failure("asset: already exists");
+    }
+    stub.put(key, to_bytes(args[2] + "|" + args[3]));
+    return to_bytes("ok");
+  }
+  if (op == "transfer" && args.size() == 3) {
+    const std::string key = "asset:" + args[1];
+    const auto current = stub.get(key);
+    if (!current.has_value()) return Result<Bytes>::failure("asset: no such asset");
+    const std::string text = bft::to_string(*current);
+    const auto sep = text.find('|');
+    stub.put(key, to_bytes(args[2] + "|" +
+                           (sep == std::string::npos ? "" : text.substr(sep + 1))));
+    return to_bytes("ok");
+  }
+  if (op == "query" && args.size() == 2) {
+    const auto current = stub.get("asset:" + args[1]);
+    if (!current.has_value()) return Result<Bytes>::failure("asset: no such asset");
+    return *current;
+  }
+  return Result<Bytes>::failure("asset: bad invocation");
+}
+
+}  // namespace bft::fabric

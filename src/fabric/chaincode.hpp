@@ -1,0 +1,76 @@
+// Chaincode (HLF's smart contracts, §3) and the stub recording read/write
+// sets during simulation. Chaincode runs only at endorsement time, against a
+// peer's current state; no ledger updates happen there.
+#pragma once
+
+#include <memory>
+
+#include "common/result.hpp"
+#include "fabric/kvstore.hpp"
+#include "fabric/types.hpp"
+
+namespace bft::fabric {
+
+/// Read/write recorder handed to chaincode during simulation.
+class ChaincodeStub {
+ public:
+  explicit ChaincodeStub(const VersionedKvStore& state) : state_(state) {}
+
+  /// Reads a key, recording (key, committed version) in the read set.
+  std::optional<Bytes> get(const std::string& key);
+  /// Buffers a write (read-your-own-writes within the transaction).
+  void put(const std::string& key, Bytes value);
+  void erase(const std::string& key);
+
+  /// Finalizes the simulation into an RwSet carrying `response`.
+  RwSet take_rwset(Bytes response);
+
+ private:
+  const VersionedKvStore& state_;
+  std::vector<ReadEntry> reads_;
+  std::map<std::string, std::size_t> read_index_;
+  std::vector<WriteEntry> writes_;
+  std::map<std::string, std::size_t> write_index_;
+};
+
+class Chaincode {
+ public:
+  virtual ~Chaincode() = default;
+  virtual const std::string& name() const = 0;
+  /// Executes an invocation; returns the response payload or an error
+  /// (errors abort endorsement).
+  virtual Result<Bytes> invoke(ChaincodeStub& stub,
+                               const std::vector<std::string>& args) = 0;
+};
+
+// --- sample chaincodes ---
+
+/// Generic put/get/del store: ["put", key, value] / ["get", key] /
+/// ["del", key].
+class KvChaincode final : public Chaincode {
+ public:
+  const std::string& name() const override;
+  Result<Bytes> invoke(ChaincodeStub& stub,
+                       const std::vector<std::string>& args) override;
+};
+
+/// Token accounts with balance checks — the classic asset-transfer workload:
+/// ["open", account, amount] / ["transfer", from, to, amount] /
+/// ["balance", account]. Transfers conflict on hot accounts, exercising MVCC.
+class TokenChaincode final : public Chaincode {
+ public:
+  const std::string& name() const override;
+  Result<Bytes> invoke(ChaincodeStub& stub,
+                       const std::vector<std::string>& args) override;
+};
+
+/// Asset registry with ownership transfer: ["create", id, owner, meta] /
+/// ["transfer", id, new_owner] / ["query", id].
+class AssetChaincode final : public Chaincode {
+ public:
+  const std::string& name() const override;
+  Result<Bytes> invoke(ChaincodeStub& stub,
+                       const std::vector<std::string>& args) override;
+};
+
+}  // namespace bft::fabric

@@ -1,0 +1,42 @@
+// Fabric client: creates proposals, gathers endorsements from peers, checks
+// that responses carry matching read/write sets and satisfy the endorsement
+// policy, and assembles the signed envelope submitted to the ordering
+// service (steps 1 and 3 of the HLF protocol).
+#pragma once
+
+#include "fabric/peer.hpp"
+
+namespace bft::fabric {
+
+class FabricClient {
+ public:
+  FabricClient(runtime::ProcessId id, std::string channel,
+               EndorsementPolicy policy);
+
+  runtime::ProcessId id() const { return id_; }
+
+  /// Builds a proposal for a chaincode invocation (fresh nonce each call).
+  Proposal make_proposal(const std::string& chaincode,
+                         std::vector<std::string> args,
+                         std::int64_t timestamp = 0);
+
+  /// Runs the endorsement round against the given peers and assembles the
+  /// envelope. Fails when responses disagree (read/write sets must match
+  /// across endorsers) or too few endorsements satisfy the policy.
+  Result<Envelope> collect_and_assemble(
+      const Proposal& proposal, const std::vector<const Peer*>& endorsers);
+
+  /// Assembles an envelope from pre-collected responses (for tests injecting
+  /// faulty endorsements).
+  Result<Envelope> assemble(const Proposal& proposal,
+                            const std::vector<ProposalResponse>& responses);
+
+ private:
+  runtime::ProcessId id_;
+  std::string channel_;
+  EndorsementPolicy policy_;
+  crypto::PrivateKey signing_key_;
+  std::uint64_t next_nonce_ = 1;
+};
+
+}  // namespace bft::fabric

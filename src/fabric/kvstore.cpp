@@ -1,0 +1,31 @@
+#include "fabric/kvstore.hpp"
+
+namespace bft::fabric {
+
+std::optional<Bytes> VersionedKvStore::get(const std::string& key) const {
+  const auto it = slots_.find(key);
+  if (it == slots_.end()) return std::nullopt;
+  return it->second.value;
+}
+
+std::uint64_t VersionedKvStore::version_of(const std::string& key) const {
+  const auto it = slots_.find(key);
+  return it == slots_.end() ? 0 : it->second.version;
+}
+
+void VersionedKvStore::put(const std::string& key, Bytes value) {
+  Slot& slot = slots_[key];
+  if (!slot.value.has_value()) ++live_count_;
+  slot.value = std::move(value);
+  ++slot.version;
+}
+
+void VersionedKvStore::erase(const std::string& key) {
+  const auto it = slots_.find(key);
+  if (it == slots_.end() || !it->second.value.has_value()) return;
+  it->second.value.reset();
+  ++it->second.version;
+  --live_count_;
+}
+
+}  // namespace bft::fabric

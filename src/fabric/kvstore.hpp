@@ -1,0 +1,44 @@
+// The peers' world state: a versioned key/value store (HLF models state as
+// versioned keys; read sets recorded at simulation time are validated against
+// committed versions — MVCC, §3 step 5).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace bft::fabric {
+
+class VersionedKvStore {
+ public:
+  struct Entry {
+    Bytes value;
+    std::uint64_t version = 0;
+  };
+
+  /// Value if present.
+  std::optional<Bytes> get(const std::string& key) const;
+  /// Committed version of a key; 0 when absent.
+  std::uint64_t version_of(const std::string& key) const;
+
+  /// Writes a value, bumping the key's version.
+  void put(const std::string& key, Bytes value);
+  /// Deletes a key; future version_of returns a bumped tombstone version so
+  /// stale reads of the deleted key are detected.
+  void erase(const std::string& key);
+
+  std::size_t size() const { return live_count_; }
+
+ private:
+  struct Slot {
+    std::optional<Bytes> value;  // nullopt = deleted tombstone
+    std::uint64_t version = 0;
+  };
+  std::map<std::string, Slot> slots_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace bft::fabric

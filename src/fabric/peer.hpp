@@ -1,0 +1,72 @@
+// Fabric peer: endorses proposals (simulate + sign, step 2) and commits
+// ordered blocks (validate endorsements + MVCC, apply write sets, append to
+// its ledger copy, steps 5-6). Endorsement and validation may run on
+// different peers — any peer can validate any block deterministically.
+#pragma once
+
+#include <memory>
+
+#include "fabric/chaincode.hpp"
+#include "fabric/policy.hpp"
+#include "ledger/chain.hpp"
+
+namespace bft::fabric {
+
+struct ProposalResponse {
+  RwSet rwset;
+  Endorsement endorsement;
+};
+
+/// Per-block validation record a committing peer produces.
+struct BlockValidation {
+  std::uint64_t block_number = 0;
+  std::vector<TxValidation> results;  // one per envelope
+
+  std::size_t valid_count() const;
+};
+
+class Peer {
+ public:
+  Peer(runtime::ProcessId id, std::string channel, EndorsementPolicy policy);
+
+  runtime::ProcessId id() const { return id_; }
+
+  /// Registers a chaincode (shared across peers is fine — stateless).
+  void install_chaincode(std::shared_ptr<Chaincode> chaincode);
+
+  // --- endorsement (step 2) ---
+  /// Simulates the proposal against current state and signs the result.
+  /// Fails when the chaincode is unknown or its invocation errors.
+  Result<ProposalResponse> endorse(const Proposal& proposal) const;
+
+  // --- validation + commit (steps 5-6) ---
+  /// Validates every envelope, appends the block to the peer's ledger and
+  /// applies the write sets of valid transactions. Blocks must arrive in
+  /// order (the ordering-service frontend guarantees that).
+  Result<BlockValidation> commit_block(const ledger::Block& block);
+
+  /// Validation of a single envelope against current state (exposed for
+  /// tests; commit_block applies it to each envelope in sequence).
+  TxValidation validate(const Envelope& envelope) const;
+
+  const VersionedKvStore& state() const { return state_; }
+  const ledger::BlockStore& ledger() const { return ledger_; }
+  const std::vector<BlockValidation>& history() const { return history_; }
+  std::uint64_t committed_valid_txs() const { return committed_valid_; }
+  std::uint64_t committed_invalid_txs() const { return committed_invalid_; }
+
+ private:
+  runtime::ProcessId id_;
+  std::string channel_;
+  EndorsementPolicy policy_;
+  crypto::PrivateKey signing_key_;
+  std::map<std::string, std::shared_ptr<Chaincode>> chaincodes_;
+
+  VersionedKvStore state_;
+  ledger::BlockStore ledger_;
+  std::vector<BlockValidation> history_;
+  std::uint64_t committed_valid_ = 0;
+  std::uint64_t committed_invalid_ = 0;
+};
+
+}  // namespace bft::fabric

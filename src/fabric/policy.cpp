@@ -1,0 +1,38 @@
+#include "fabric/policy.hpp"
+
+#include <stdexcept>
+
+namespace bft::fabric {
+
+EndorsementPolicy::EndorsementPolicy(std::set<runtime::ProcessId> peers,
+                                     std::size_t required)
+    : peers_(std::move(peers)), required_(required) {
+  if (peers_.empty()) {
+    throw std::invalid_argument("EndorsementPolicy: empty peer set");
+  }
+  if (required_ == 0 || required_ > peers_.size()) {
+    throw std::invalid_argument("EndorsementPolicy: required outside [1, N]");
+  }
+}
+
+EndorsementPolicy EndorsementPolicy::all_of(std::set<runtime::ProcessId> peers) {
+  const std::size_t n = peers.size();
+  return EndorsementPolicy(std::move(peers), n);
+}
+
+EndorsementPolicy EndorsementPolicy::majority_of(
+    std::set<runtime::ProcessId> peers) {
+  const std::size_t n = peers.size();
+  return EndorsementPolicy(std::move(peers), n / 2 + 1);
+}
+
+bool EndorsementPolicy::satisfied_by(
+    const std::set<runtime::ProcessId>& endorsers) const {
+  std::size_t hits = 0;
+  for (runtime::ProcessId p : endorsers) {
+    if (peers_.count(p) > 0) ++hits;
+  }
+  return hits >= required_;
+}
+
+}  // namespace bft::fabric

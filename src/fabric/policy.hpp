@@ -1,0 +1,36 @@
+// Endorsement policies: which endorsing peers must sign a transaction for it
+// to be valid (evaluated by clients before submission and re-checked by
+// committing peers, §3 steps 3 and 5).
+#pragma once
+
+#include <set>
+
+#include "runtime/actor.hpp"
+
+namespace bft::fabric {
+
+/// K-of-N policy over an explicit peer set (covers AND = N-of-N,
+/// OR = 1-of-N, and majority policies).
+class EndorsementPolicy {
+ public:
+  EndorsementPolicy(std::set<runtime::ProcessId> peers, std::size_t required);
+
+  static EndorsementPolicy any_of(std::set<runtime::ProcessId> peers) {
+    return EndorsementPolicy(std::move(peers), 1);
+  }
+  static EndorsementPolicy all_of(std::set<runtime::ProcessId> peers);
+  static EndorsementPolicy majority_of(std::set<runtime::ProcessId> peers);
+
+  const std::set<runtime::ProcessId>& peers() const { return peers_; }
+  std::size_t required() const { return required_; }
+  bool is_member(runtime::ProcessId peer) const { return peers_.count(peer) > 0; }
+
+  /// True iff the set of peers with verified endorsements satisfies K-of-N.
+  bool satisfied_by(const std::set<runtime::ProcessId>& endorsers) const;
+
+ private:
+  std::set<runtime::ProcessId> peers_;
+  std::size_t required_;
+};
+
+}  // namespace bft::fabric

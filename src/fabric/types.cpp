@@ -1,0 +1,146 @@
+#include "fabric/types.hpp"
+
+namespace bft::fabric {
+
+Bytes Proposal::encode() const {
+  Writer w;
+  w.str(channel);
+  w.str(chaincode);
+  w.u32(static_cast<std::uint32_t>(args.size()));
+  for (const auto& a : args) w.str(a);
+  w.u32(client);
+  w.u64(nonce);
+  w.i64(timestamp);
+  return std::move(w).take();
+}
+
+Proposal Proposal::decode(ByteView data) {
+  Reader r(data);
+  Proposal p;
+  p.channel = r.str();
+  p.chaincode = r.str();
+  const std::uint32_t argc = r.u32();
+  p.args.reserve(r.safe_reserve(argc));
+  for (std::uint32_t i = 0; i < argc; ++i) p.args.push_back(r.str());
+  p.client = r.u32();
+  p.nonce = r.u64();
+  p.timestamp = r.i64();
+  r.expect_done();
+  return p;
+}
+
+crypto::Hash256 Proposal::digest() const {
+  Bytes domain = to_bytes("fabric.proposal:");
+  append(domain, encode());
+  return crypto::sha256(domain);
+}
+
+Bytes RwSet::encode() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(reads.size()));
+  for (const auto& read : reads) {
+    w.str(read.key);
+    w.u64(read.version);
+  }
+  w.u32(static_cast<std::uint32_t>(writes.size()));
+  for (const auto& write : writes) {
+    w.str(write.key);
+    w.bytes(write.value);
+    w.boolean(write.is_delete);
+  }
+  w.bytes(response);
+  return std::move(w).take();
+}
+
+RwSet RwSet::decode(ByteView data) {
+  Reader r(data);
+  RwSet set;
+  const std::uint32_t reads = r.u32();
+  set.reads.reserve(r.safe_reserve(reads));
+  for (std::uint32_t i = 0; i < reads; ++i) {
+    ReadEntry e;
+    e.key = r.str();
+    e.version = r.u64();
+    set.reads.push_back(std::move(e));
+  }
+  const std::uint32_t writes = r.u32();
+  set.writes.reserve(r.safe_reserve(writes));
+  for (std::uint32_t i = 0; i < writes; ++i) {
+    WriteEntry e;
+    e.key = r.str();
+    e.value = r.bytes();
+    e.is_delete = r.boolean();
+    set.writes.push_back(std::move(e));
+  }
+  set.response = r.bytes();
+  r.expect_done();
+  return set;
+}
+
+crypto::Hash256 endorsement_digest(const Proposal& proposal, const RwSet& rwset) {
+  Writer w;
+  w.str("fabric.endorsement");
+  w.bytes(proposal.encode());
+  w.bytes(rwset.encode());
+  return crypto::sha256(w.data());
+}
+
+Bytes Envelope::encode() const {
+  Writer w;
+  w.bytes(proposal.encode());
+  w.bytes(rwset.encode());
+  w.u32(static_cast<std::uint32_t>(endorsements.size()));
+  for (const auto& e : endorsements) {
+    w.u32(e.peer);
+    w.bytes(e.signature);
+  }
+  w.bytes(client_signature);
+  return std::move(w).take();
+}
+
+Envelope Envelope::decode(ByteView data) {
+  Reader r(data);
+  Envelope env;
+  env.proposal = Proposal::decode(r.bytes());
+  env.rwset = RwSet::decode(r.bytes());
+  const std::uint32_t endorsements = r.u32();
+  env.endorsements.reserve(r.safe_reserve(endorsements));
+  for (std::uint32_t i = 0; i < endorsements; ++i) {
+    Endorsement e;
+    e.peer = r.u32();
+    e.signature = r.bytes();
+    env.endorsements.push_back(std::move(e));
+  }
+  env.client_signature = r.bytes();
+  r.expect_done();
+  return env;
+}
+
+crypto::Hash256 Envelope::signing_digest() const {
+  Writer w;
+  w.str("fabric.envelope");
+  w.bytes(proposal.encode());
+  w.bytes(rwset.encode());
+  w.u32(static_cast<std::uint32_t>(endorsements.size()));
+  for (const auto& e : endorsements) {
+    w.u32(e.peer);
+    w.bytes(e.signature);
+  }
+  return crypto::sha256(w.data());
+}
+
+crypto::Hash256 Envelope::tx_id() const { return crypto::sha256(encode()); }
+
+const char* to_string(TxValidation v) {
+  switch (v) {
+    case TxValidation::valid: return "valid";
+    case TxValidation::bad_envelope: return "bad_envelope";
+    case TxValidation::bad_client_signature: return "bad_client_signature";
+    case TxValidation::endorsement_policy_failure:
+      return "endorsement_policy_failure";
+    case TxValidation::mvcc_conflict: return "mvcc_conflict";
+  }
+  return "?";
+}
+
+}  // namespace bft::fabric

@@ -1,0 +1,99 @@
+// Hyperledger Fabric v1 data model (the slice the ordering service and its
+// surrounding execute-order-validate flow need): proposals, read/write sets
+// over versioned keys, endorsements and envelopes.
+//
+// Envelopes are what the ordering service totally orders; it never inspects
+// their contents (step 4 of the HLF protocol, §3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/serial.hpp"
+#include "crypto/ecdsa.hpp"
+#include "runtime/actor.hpp"
+
+namespace bft::fabric {
+
+/// A chaincode invocation requested by a client (step 1 of the protocol).
+struct Proposal {
+  std::string channel;
+  std::string chaincode;
+  std::vector<std::string> args;
+  std::uint32_t client = 0;
+  std::uint64_t nonce = 0;  // client-chosen uniqueness
+  std::int64_t timestamp = 0;
+
+  Bytes encode() const;
+  static Proposal decode(ByteView data);
+  /// Digest clients sign and peers bind their endorsement to.
+  crypto::Hash256 digest() const;
+};
+
+/// One versioned read recorded during simulation (step 2).
+struct ReadEntry {
+  std::string key;
+  std::uint64_t version = 0;  // 0 = key did not exist
+
+  bool operator==(const ReadEntry& other) const = default;
+};
+
+/// One write produced during simulation; applied only if the transaction
+/// validates (step 6).
+struct WriteEntry {
+  std::string key;
+  Bytes value;
+  bool is_delete = false;
+
+  bool operator==(const WriteEntry& other) const = default;
+};
+
+/// Result of simulating a transaction against a peer's current state.
+struct RwSet {
+  std::vector<ReadEntry> reads;
+  std::vector<WriteEntry> writes;
+  Bytes response;  // chaincode return value shown to the client
+
+  Bytes encode() const;
+  static RwSet decode(ByteView data);
+  bool operator==(const RwSet& other) const = default;
+};
+
+/// An endorsing peer's signature over (proposal digest, rwset) (step 2).
+struct Endorsement {
+  runtime::ProcessId peer = 0;
+  Bytes signature;
+};
+
+/// Digest an endorsement signs: binds proposal and simulation result.
+crypto::Hash256 endorsement_digest(const Proposal& proposal, const RwSet& rwset);
+
+/// The client-assembled transaction submitted to the ordering service
+/// (steps 3-4): proposal + rwset + endorsements, signed by the client.
+struct Envelope {
+  Proposal proposal;
+  RwSet rwset;
+  std::vector<Endorsement> endorsements;
+  Bytes client_signature;
+
+  Bytes encode() const;
+  static Envelope decode(ByteView data);
+  /// Transaction id (digest over the signed content).
+  crypto::Hash256 tx_id() const;
+  /// Digest covered by the client signature.
+  crypto::Hash256 signing_digest() const;
+};
+
+/// Validation outcome recorded on the ledger for every transaction (invalid
+/// transactions are appended too — they are just not executed, §3 step 6).
+enum class TxValidation : std::uint8_t {
+  valid = 0,
+  bad_envelope = 1,        // undecodable payload
+  bad_client_signature = 2,
+  endorsement_policy_failure = 3,
+  mvcc_conflict = 4,       // read-set version mismatch
+};
+
+const char* to_string(TxValidation v);
+
+}  // namespace bft::fabric

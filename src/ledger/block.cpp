@@ -1,0 +1,95 @@
+#include "ledger/block.hpp"
+
+namespace bft::ledger {
+
+namespace {
+
+void put_hash(Writer& w, const crypto::Hash256& h) {
+  w.raw(ByteView(h.data(), h.size()));
+}
+
+crypto::Hash256 get_hash(Reader& r) {
+  return crypto::hash_from_bytes(r.raw(32));
+}
+
+}  // namespace
+
+Bytes BlockHeader::encode() const {
+  Writer w(8 + 64);
+  w.u64(number);
+  put_hash(w, previous_hash);
+  put_hash(w, data_hash);
+  return std::move(w).take();
+}
+
+BlockHeader BlockHeader::decode(ByteView data) {
+  Reader r(data);
+  BlockHeader h;
+  h.number = r.u64();
+  h.previous_hash = get_hash(r);
+  h.data_hash = get_hash(r);
+  r.expect_done();
+  return h;
+}
+
+crypto::Hash256 BlockHeader::digest() const { return crypto::sha256(encode()); }
+
+bool BlockHeader::operator==(const BlockHeader& other) const {
+  return number == other.number && previous_hash == other.previous_hash &&
+         data_hash == other.data_hash;
+}
+
+Bytes Block::encode() const {
+  Writer w;
+  w.bytes(header.encode());
+  w.u32(static_cast<std::uint32_t>(envelopes.size()));
+  for (const Bytes& e : envelopes) w.bytes(e);
+  return std::move(w).take();
+}
+
+Block Block::decode(ByteView data) {
+  Reader r(data);
+  Block b;
+  b.header = BlockHeader::decode(r.bytes());
+  const std::uint32_t count = r.u32();
+  b.envelopes.reserve(r.safe_reserve(count));
+  for (std::uint32_t i = 0; i < count; ++i) b.envelopes.push_back(r.bytes());
+  r.expect_done();
+  return b;
+}
+
+bool Block::operator==(const Block& other) const {
+  return header == other.header && envelopes == other.envelopes;
+}
+
+crypto::Hash256 compute_data_hash(const std::vector<Bytes>& envelopes) {
+  crypto::Sha256 h;
+  Writer count;
+  count.u32(static_cast<std::uint32_t>(envelopes.size()));
+  h.update(count.data());
+  for (const Bytes& e : envelopes) {
+    Writer len;
+    len.u32(static_cast<std::uint32_t>(e.size()));
+    h.update(len.data());
+    h.update(e);
+  }
+  return h.finish();
+}
+
+Block make_block(std::uint64_t number, const crypto::Hash256& previous_hash,
+                 std::vector<Bytes> envelopes) {
+  Block b;
+  b.header.number = number;
+  b.header.previous_hash = previous_hash;
+  b.header.data_hash = compute_data_hash(envelopes);
+  b.envelopes = std::move(envelopes);
+  return b;
+}
+
+crypto::Hash256 genesis_hash(std::string_view channel) {
+  Bytes seed = to_bytes("bft-ordering-genesis:");
+  append(seed, to_bytes(channel));
+  return crypto::sha256(seed);
+}
+
+}  // namespace bft::ledger

@@ -1,0 +1,47 @@
+// HLF-style blocks: a header binding (sequence number, hash of the previous
+// header, hash of the envelope data) plus the opaque envelopes themselves.
+// Signatures are generated over the header digest — which is why the paper's
+// signing throughput (§6.1) is independent of envelope and block size.
+#pragma once
+
+#include <vector>
+
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace bft::ledger {
+
+struct BlockHeader {
+  std::uint64_t number = 0;
+  crypto::Hash256 previous_hash{};
+  crypto::Hash256 data_hash{};
+
+  Bytes encode() const;
+  static BlockHeader decode(ByteView data);
+  /// The digest signatures are computed over.
+  crypto::Hash256 digest() const;
+
+  bool operator==(const BlockHeader& other) const;
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Bytes> envelopes;
+
+  Bytes encode() const;
+  static Block decode(ByteView data);
+
+  bool operator==(const Block& other) const;
+};
+
+/// Deterministic digest over an envelope list.
+crypto::Hash256 compute_data_hash(const std::vector<Bytes>& envelopes);
+
+/// Builds a block whose data hash matches its envelopes.
+Block make_block(std::uint64_t number, const crypto::Hash256& previous_hash,
+                 std::vector<Bytes> envelopes);
+
+/// Hash chained to by the first block of a channel.
+crypto::Hash256 genesis_hash(std::string_view channel);
+
+}  // namespace bft::ledger

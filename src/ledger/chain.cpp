@@ -1,0 +1,68 @@
+#include "ledger/chain.hpp"
+
+#include <stdexcept>
+
+namespace bft::ledger {
+
+BlockStore::BlockStore(std::string channel)
+    : channel_(std::move(channel)), tip_hash_(genesis_hash(channel_)) {}
+
+Status BlockStore::append(Block block) {
+  if (!blocks_.empty() && block == blocks_.back()) {
+    return Status::ok();  // idempotent duplicate of the tip
+  }
+  if (block.header.number != next_number()) {
+    return Status::failure("block number " + std::to_string(block.header.number) +
+                           " does not extend height " +
+                           std::to_string(height()));
+  }
+  if (block.header.previous_hash != tip_hash_) {
+    return Status::failure("previous-hash mismatch at block " +
+                           std::to_string(block.header.number));
+  }
+  if (block.header.data_hash != compute_data_hash(block.envelopes)) {
+    return Status::failure("data-hash mismatch at block " +
+                           std::to_string(block.header.number));
+  }
+  tip_hash_ = block.header.digest();
+  blocks_.push_back(std::move(block));
+  return Status::ok();
+}
+
+const Block& BlockStore::at(std::uint64_t number) const {
+  if (number == 0 || number > blocks_.size()) {
+    throw std::out_of_range("BlockStore::at: no block " + std::to_string(number));
+  }
+  return blocks_[number - 1];
+}
+
+const Block& BlockStore::tip() const {
+  if (blocks_.empty()) throw std::out_of_range("BlockStore::tip: empty chain");
+  return blocks_.back();
+}
+
+const crypto::Hash256& BlockStore::expected_previous_hash() const {
+  return tip_hash_;
+}
+
+Status BlockStore::verify() const {
+  crypto::Hash256 prev = genesis_hash(channel_);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& b = blocks_[i];
+    if (b.header.number != i + 1) {
+      return Status::failure("non-contiguous number at index " + std::to_string(i));
+    }
+    if (b.header.previous_hash != prev) {
+      return Status::failure("broken hash chain at block " +
+                             std::to_string(b.header.number));
+    }
+    if (b.header.data_hash != compute_data_hash(b.envelopes)) {
+      return Status::failure("tampered envelopes in block " +
+                             std::to_string(b.header.number));
+    }
+    prev = b.header.digest();
+  }
+  return Status::ok();
+}
+
+}  // namespace bft::ledger

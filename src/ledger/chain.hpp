@@ -1,0 +1,39 @@
+// Per-channel block store with hash-chain verification. Committing peers use
+// this to maintain their copy of the ledger (ordering nodes do not store the
+// chain — footnote 9 of the paper — they only keep the previous header hash).
+#pragma once
+
+#include "common/result.hpp"
+#include "ledger/block.hpp"
+
+namespace bft::ledger {
+
+class BlockStore {
+ public:
+  explicit BlockStore(std::string channel);
+
+  const std::string& channel() const { return channel_; }
+
+  /// Appends after verifying number continuity, previous-hash linkage and the
+  /// data hash. Duplicate re-append of the current tip block is ok (idempotent).
+  Status append(Block block);
+
+  std::size_t height() const { return blocks_.size(); }
+  bool empty() const { return blocks_.empty(); }
+  /// Block with sequence `number` (1-based); throws std::out_of_range.
+  const Block& at(std::uint64_t number) const;
+  const Block& tip() const;
+  /// Hash the next block must chain to.
+  const crypto::Hash256& expected_previous_hash() const;
+  std::uint64_t next_number() const { return blocks_.size() + 1; }
+
+  /// Full-chain audit: re-verifies every link and data hash.
+  Status verify() const;
+
+ private:
+  std::string channel_;
+  std::vector<Block> blocks_;
+  crypto::Hash256 tip_hash_;  // digest of the latest header (or genesis)
+};
+
+}  // namespace bft::ledger

@@ -1,0 +1,43 @@
+#include "ordering/blockcutter.hpp"
+
+#include <stdexcept>
+
+namespace bft::ordering {
+
+BlockCutter::BlockCutter(std::size_t block_size) : block_size_(block_size) {
+  if (block_size == 0) {
+    throw std::invalid_argument("BlockCutter: block size must be positive");
+  }
+  pending_.reserve(block_size);
+}
+
+std::optional<std::vector<Bytes>> BlockCutter::add(Bytes envelope) {
+  pending_.push_back(std::move(envelope));
+  if (pending_.size() >= block_size_) return cut();
+  return std::nullopt;
+}
+
+std::vector<Bytes> BlockCutter::cut() {
+  std::vector<Bytes> out;
+  out.swap(pending_);
+  pending_.reserve(block_size_);
+  return out;
+}
+
+Bytes BlockCutter::snapshot() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(pending_.size()));
+  for (const Bytes& e : pending_) w.bytes(e);
+  return std::move(w).take();
+}
+
+void BlockCutter::restore(ByteView snapshot) {
+  Reader r(snapshot);
+  pending_.clear();
+  const std::uint32_t count = r.u32();
+  pending_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) pending_.push_back(r.bytes());
+  r.expect_done();
+}
+
+}  // namespace bft::ordering

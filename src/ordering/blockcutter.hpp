@@ -1,0 +1,38 @@
+// The blockcutter (§5.1): buffers totally-ordered envelopes until a block's
+// worth accumulates. Its pending contents are replicated application state
+// (two nodes at the same consensus position must hold identical pending
+// envelopes), so it participates in snapshot/restore.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/serial.hpp"
+
+namespace bft::ordering {
+
+class BlockCutter {
+ public:
+  /// `block_size` envelopes per block (the paper sweeps 10 and 100).
+  explicit BlockCutter(std::size_t block_size);
+
+  std::size_t block_size() const { return block_size_; }
+  std::size_t pending_count() const { return pending_.size(); }
+
+  /// Adds one envelope; returns the drained batch exactly when it fills a
+  /// block.
+  std::optional<std::vector<Bytes>> add(Bytes envelope);
+
+  /// Drains whatever is pending (batch-timeout cut); may be empty.
+  std::vector<Bytes> cut();
+
+  /// Pending envelopes as serialized state.
+  Bytes snapshot() const;
+  void restore(ByteView snapshot);
+
+ private:
+  std::size_t block_size_;
+  std::vector<Bytes> pending_;
+};
+
+}  // namespace bft::ordering

@@ -1,0 +1,24 @@
+#include "ordering/channels.hpp"
+
+namespace bft::ordering {
+
+Bytes ChannelEnvelope::encode() const {
+  Writer w(envelope.size() + channel.size() + 12);
+  w.str(channel);
+  w.bytes(envelope);
+  return std::move(w).take();
+}
+
+ChannelEnvelope ChannelEnvelope::decode(ByteView data) {
+  Reader r(data);
+  ChannelEnvelope ce;
+  ce.channel = r.str();
+  if (ce.channel.empty() || ce.channel.size() > 255) {
+    throw DecodeError("invalid channel name");
+  }
+  ce.envelope = r.bytes();
+  r.expect_done();
+  return ce;
+}
+
+}  // namespace bft::ordering

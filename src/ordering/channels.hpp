@@ -1,0 +1,25 @@
+// Channel framing for the ordering service.
+//
+// HLF partitions its data into channels — private blockchains sharing one
+// ordering service (§3 footnote 6; step 4: the service "gathers envelopes
+// from all channels ... orders them ... and creates signed chain blocks").
+// Frontends wrap each envelope with its channel; ordering nodes demultiplex
+// the totally-ordered stream into per-channel blockcutters and hash chains.
+#pragma once
+
+#include <string>
+
+#include "common/serial.hpp"
+
+namespace bft::ordering {
+
+struct ChannelEnvelope {
+  std::string channel;
+  Bytes envelope;
+
+  Bytes encode() const;
+  /// Throws DecodeError on malformed input.
+  static ChannelEnvelope decode(ByteView data);
+};
+
+}  // namespace bft::ordering

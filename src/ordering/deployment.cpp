@@ -1,0 +1,60 @@
+#include "ordering/deployment.hpp"
+
+namespace bft::ordering {
+
+namespace {
+
+std::shared_ptr<BlockSigner> make_signer(const ServiceOptions& options,
+                                         runtime::ProcessId node) {
+  if (options.stub_signatures) {
+    return std::make_shared<StubBlockSigner>(node, options.signature_cost);
+  }
+  return std::make_shared<EcdsaBlockSigner>(node, options.signature_cost);
+}
+
+}  // namespace
+
+std::shared_ptr<BlockSigner> Service::make_verifier(
+    runtime::ProcessId node) const {
+  (void)node;
+  return nodes.empty() ? nullptr : nodes.front().signer;
+}
+
+Service make_service(const ServiceOptions& options) {
+  if (options.nodes.empty()) {
+    throw std::invalid_argument("make_service: need at least one node");
+  }
+  smr::ClusterConfig cluster =
+      options.vmax_nodes.empty()
+          ? smr::ClusterConfig::classic(options.nodes)
+          : smr::ClusterConfig::wheat(options.nodes, options.vmax_nodes);
+
+  Service service{std::move(cluster), {}};
+  for (runtime::ProcessId node : service.cluster.members()) {
+    NodeBundle bundle;
+    bundle.signer = make_signer(options, node);
+    OrderingNodeOptions node_options;
+    node_options.default_channel = options.channel;
+    node_options.block_size = options.block_size;
+    node_options.batch_timeout = options.batch_timeout;
+    node_options.double_sign = options.double_sign;
+    bundle.app = std::make_unique<OrderingNode>(node_options, bundle.signer);
+    bundle.replica = std::make_unique<smr::Replica>(
+        node, service.cluster, options.replica_params, bundle.app.get(),
+        bundle.app.get());
+    bundle.app->attach(*bundle.replica);
+    service.nodes.push_back(std::move(bundle));
+  }
+  return service;
+}
+
+FrontendOptions make_frontend_options(const Service& service,
+                                      const ServiceOptions& options) {
+  FrontendOptions fo;
+  fo.channel = options.channel;
+  fo.weighted_quorum = options.replica_params.tentative_execution;
+  fo.verifier = service.nodes.empty() ? nullptr : service.nodes.front().signer;
+  return fo;
+}
+
+}  // namespace bft::ordering

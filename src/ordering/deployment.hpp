@@ -1,0 +1,58 @@
+// Convenience builder assembling a complete ordering service (nodes + their
+// replicas) ready for registration with either runtime. Used by tests,
+// examples and the benchmark harness.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ordering/frontend.hpp"
+#include "ordering/node.hpp"
+
+namespace bft::ordering {
+
+struct ServiceOptions {
+  /// Ordering-node process ids (e.g. 0..n-1). WHEAT deployments list the
+  /// Vmax carriers in `vmax_nodes`.
+  std::vector<runtime::ProcessId> nodes;
+  std::set<runtime::ProcessId> vmax_nodes;  // empty -> classic BFT-SMaRt
+  std::string channel = "channel-0";
+  std::size_t block_size = 10;
+  /// Cut partial blocks after this long (0 = never), via ordered markers.
+  runtime::Duration batch_timeout = 0;
+  smr::ReplicaParams replica_params;
+  /// Use keyed-hash stub signatures with calibrated cost instead of real
+  /// ECDSA (for discrete-event benchmarks).
+  bool stub_signatures = false;
+  /// Simulated cost of one block signature.
+  runtime::Duration signature_cost = runtime::usec(1905);
+  /// HLF double-signing mode (footnote 10).
+  bool double_sign = false;
+};
+
+/// One ordering node and its replica, wired together.
+struct NodeBundle {
+  std::shared_ptr<BlockSigner> signer;
+  std::unique_ptr<OrderingNode> app;
+  std::unique_ptr<smr::Replica> replica;
+};
+
+struct Service {
+  smr::ClusterConfig cluster;
+  std::vector<NodeBundle> nodes;
+
+  /// A signer/verifier equivalent to the nodes' backend, for frontends that
+  /// verify signatures.
+  std::shared_ptr<BlockSigner> make_verifier(runtime::ProcessId node) const;
+};
+
+/// Builds the node side of an ordering service. Caller registers each
+/// `nodes[i].replica.get()` with a runtime under process id
+/// `cluster.members()[i]`.
+Service make_service(const ServiceOptions& options);
+
+/// Frontend options consistent with a service (weighted quorum under WHEAT).
+FrontendOptions make_frontend_options(const Service& service,
+                                      const ServiceOptions& options);
+
+}  // namespace bft::ordering

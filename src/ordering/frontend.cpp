@@ -1,0 +1,128 @@
+#include "ordering/frontend.hpp"
+
+#include "common/log.hpp"
+
+namespace bft::ordering {
+
+Frontend::Frontend(smr::ClusterConfig cluster, FrontendOptions options,
+                   BlockCallback on_block)
+    : cluster_(std::move(cluster)),
+      options_(std::move(options)),
+      on_block_(std::move(on_block)) {
+  if (options_.verify_signatures && options_.verifier == nullptr) {
+    throw std::invalid_argument("Frontend: verification requires a verifier");
+  }
+}
+
+void Frontend::on_start(runtime::Env& env) {
+  Actor::on_start(env);
+  if (!options_.receive_blocks) return;
+  const Bytes registration = smr::encode_register_receiver();
+  for (runtime::ProcessId node : cluster_.members()) {
+    env.send(node, registration);
+  }
+}
+
+void Frontend::submit(Bytes envelope) {
+  if (options_.track_latency) {
+    inflight_[crypto::hash_hex(crypto::sha256(envelope))] = env().now();
+  }
+  OrderedPayload payload;
+  payload.channel = options_.channel;
+  payload.envelope = std::move(envelope);
+  smr::Request request;
+  request.client = env().self();
+  request.seq = next_seq_++;
+  request.payload = payload.encode();
+  const Bytes encoded = smr::encode_request(request);
+  for (runtime::ProcessId node : cluster_.members()) {
+    env().send(node, encoded);
+  }
+  ++submitted_;
+  if (first_submit_ < 0) first_submit_ = env().now();
+}
+
+bool Frontend::quorum_reached(const Tally& tally) const {
+  if (options_.required_copies > 0) {
+    return tally.senders.size() >= options_.required_copies;
+  }
+  const auto& q = cluster_.quorums();
+  if (options_.weighted_quorum) {
+    std::set<consensus::ReplicaId> indices;
+    for (runtime::ProcessId p : tally.senders) {
+      if (cluster_.contains(p)) indices.insert(cluster_.index_of(p));
+    }
+    return q.weight_of_set(indices) >= q.quorum_weight();
+  }
+  const std::size_t needed =
+      options_.verify_signatures ? q.count_f_plus_1() : q.count_2f_plus_1();
+  return tally.senders.size() >= needed;
+}
+
+void Frontend::on_message(runtime::ProcessId from, ByteView payload) {
+  if (!cluster_.contains(from)) return;
+  SignedBlock sb;
+  try {
+    if (smr::peek_kind(payload) != smr::MsgKind::push) return;
+    sb = SignedBlock::decode(smr::decode_push(payload));
+  } catch (const DecodeError&) {
+    BFT_LOG(warn) << "frontend " << env().self() << ": malformed push from " << from;
+    return;
+  }
+
+  if (sb.channel != options_.channel) return;  // another channel's chain
+  const std::uint64_t number = sb.block.header.number;
+  if (options_.deliver_in_order ? number < next_delivery_number_
+                                : delivered_numbers_.count(number) > 0) {
+    return;  // already delivered
+  }
+
+  if (options_.verify_signatures &&
+      !options_.verifier->verify(from, sb.block.header.digest(), sb.signature)) {
+    BFT_LOG(warn) << "frontend " << env().self() << ": bad block signature from "
+                  << from;
+    return;
+  }
+
+  const std::string digest = crypto::hash_hex(crypto::sha256(sb.block.encode()));
+  Tally& tally = tallies_[number][digest];
+  tally.senders.insert(from);
+  if (!tally.has_block) {
+    tally.block = std::move(sb.block);
+    tally.has_block = true;
+  }
+  if (!quorum_reached(tally)) return;
+
+  ledger::Block block = std::move(tally.block);
+  tallies_.erase(number);
+
+  if (!options_.deliver_in_order) {
+    delivered_numbers_.insert(number);
+    deliver(block);
+    return;
+  }
+  ready_.emplace(number, std::move(block));
+  while (!ready_.empty() && ready_.begin()->first == next_delivery_number_) {
+    deliver(ready_.begin()->second);
+    ready_.erase(ready_.begin());
+    ++next_delivery_number_;
+  }
+}
+
+void Frontend::deliver(const ledger::Block& block) {
+  ++delivered_blocks_;
+  delivered_envelopes_ += block.envelopes.size();
+  last_delivery_ = env().now();
+  if (options_.track_latency) {
+    for (const Bytes& envelope : block.envelopes) {
+      const auto it = inflight_.find(crypto::hash_hex(crypto::sha256(envelope)));
+      if (it != inflight_.end()) {
+        latencies_.add(static_cast<double>(env().now() - it->second) / 1e6);
+        inflight_.erase(it);
+      }
+    }
+  }
+  if (on_block_) on_block_(block);
+}
+
+}  // namespace bft::ordering

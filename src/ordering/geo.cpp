@@ -1,0 +1,55 @@
+#include "ordering/geo.hpp"
+
+#include <stdexcept>
+
+namespace bft::ordering {
+
+using sim::Region;
+
+GeoTopology paper_bftsmart_topology() {
+  GeoTopology t;
+  t.node_regions = {Region::oregon, Region::ireland, Region::sydney,
+                    Region::sao_paulo};
+  t.frontend_regions = {Region::canada, Region::oregon, Region::virginia,
+                        Region::sao_paulo};
+  t.net.jitter_sigma = 0.02;
+  return t;
+}
+
+GeoTopology paper_wheat_topology() {
+  GeoTopology t = paper_bftsmart_topology();
+  t.node_regions.push_back(Region::virginia);
+  return t;
+}
+
+std::set<runtime::ProcessId> paper_wheat_vmax_nodes() {
+  // Node 0 sits in Oregon, node 4 in Virginia (see paper_wheat_topology).
+  return {0, 4};
+}
+
+sim::Network make_geo_network(const GeoTopology& topology, std::uint64_t seed) {
+  const std::size_t nodes = topology.node_regions.size();
+  const std::size_t frontends = topology.frontend_regions.size();
+  if (topology.frontend_base < nodes) {
+    throw std::invalid_argument("make_geo_network: frontend ids collide with nodes");
+  }
+
+  // One machine per participant; region list in machine order.
+  std::vector<Region> machine_regions = topology.node_regions;
+  machine_regions.insert(machine_regions.end(), topology.frontend_regions.begin(),
+                         topology.frontend_regions.end());
+
+  std::vector<std::uint32_t> process_machine(topology.frontend_base + frontends, 0);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    process_machine[i] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t j = 0; j < frontends; ++j) {
+    process_machine[topology.frontend_base + j] =
+        static_cast<std::uint32_t>(nodes + j);
+  }
+
+  return sim::Network(topology.net, std::move(process_machine),
+                      sim::wan_latency_matrix(machine_regions), Rng(seed));
+}
+
+}  // namespace bft::ordering

@@ -1,0 +1,36 @@
+// Geo-distributed deployment helper (§6.3): builds the simulated WAN for a
+// set of ordering nodes and frontends placed in AWS regions, using the
+// measured inter-region RTT matrix from sim/wan.hpp.
+#pragma once
+
+#include "sim/network.hpp"
+#include "sim/wan.hpp"
+#include "smr/config.hpp"
+
+namespace bft::ordering {
+
+struct GeoTopology {
+  /// Region of ordering node i (process id i).
+  std::vector<sim::Region> node_regions;
+  /// Region of frontend j (process id frontend_base + j).
+  std::vector<sim::Region> frontend_regions;
+  runtime::ProcessId frontend_base = 100;
+  sim::NetworkConfig net;  // bandwidth/jitter knobs
+};
+
+/// The paper's §6.3 BFT-SMaRt deployment: nodes in Oregon, Ireland, Sydney,
+/// São Paulo; frontends in Canada, Oregon, Virginia, São Paulo.
+GeoTopology paper_bftsmart_topology();
+
+/// The paper's WHEAT deployment: the same plus a fifth node in Virginia.
+/// Vmax (weight 2) goes to Oregon and Virginia.
+GeoTopology paper_wheat_topology();
+
+/// Nodes carrying Vmax in the WHEAT topology (Oregon and Virginia).
+std::set<runtime::ProcessId> paper_wheat_vmax_nodes();
+
+/// Builds the simulated network for a topology. Every node and frontend gets
+/// its own machine in its region.
+sim::Network make_geo_network(const GeoTopology& topology, std::uint64_t seed);
+
+}  // namespace bft::ordering

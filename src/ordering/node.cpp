@@ -1,0 +1,241 @@
+#include "ordering/node.hpp"
+
+namespace bft::ordering {
+
+Bytes SignedBlock::encode() const {
+  Writer w;
+  w.str(channel);
+  w.bytes(block.encode());
+  w.bytes(signature);
+  return std::move(w).take();
+}
+
+SignedBlock SignedBlock::decode(ByteView data) {
+  Reader r(data);
+  SignedBlock sb;
+  sb.channel = r.str();
+  sb.block = ledger::Block::decode(r.bytes());
+  sb.signature = r.bytes();
+  r.expect_done();
+  return sb;
+}
+
+Bytes OrderedPayload::encode() const {
+  Writer w(envelope.size() + channel.size() + 24);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.str(channel);
+  if (kind == Kind::envelope) {
+    w.bytes(envelope);
+  } else {
+    w.u64(cut_block_number);
+  }
+  return std::move(w).take();
+}
+
+OrderedPayload OrderedPayload::decode(ByteView data) {
+  Reader r(data);
+  OrderedPayload p;
+  const std::uint8_t kind = r.u8();
+  if (kind > 1) throw DecodeError("bad ordered-payload kind");
+  p.kind = static_cast<Kind>(kind);
+  p.channel = r.str();
+  if (p.channel.empty() || p.channel.size() > 255) {
+    throw DecodeError("invalid channel name");
+  }
+  if (p.kind == Kind::envelope) {
+    p.envelope = r.bytes();
+  } else {
+    p.cut_block_number = r.u64();
+  }
+  r.expect_done();
+  return p;
+}
+
+OrderingNode::OrderingNode(OrderingNodeOptions options,
+                           std::shared_ptr<BlockSigner> signer)
+    : options_(std::move(options)), signer_(std::move(signer)) {
+  if (signer_ == nullptr) {
+    throw std::invalid_argument("OrderingNode: null signer");
+  }
+  if (options_.block_size == 0) {
+    throw std::invalid_argument("OrderingNode: zero block size");
+  }
+}
+
+OrderingNode::ChannelState& OrderingNode::channel_state(const std::string& name) {
+  auto it = channels_.find(name);
+  if (it == channels_.end()) {
+    it = channels_
+             .emplace(std::piecewise_construct, std::forward_as_tuple(name),
+                      std::forward_as_tuple(name, options_.block_size))
+             .first;
+  }
+  return it->second;
+}
+
+Bytes OrderingNode::execute(const smr::Request& request,
+                            const smr::ExecutionContext& ctx) {
+  (void)ctx;
+  if (replica_ == nullptr) {
+    throw std::logic_error("OrderingNode: attach() was not called");
+  }
+  replica_->runtime_env().charge_cpu(options_.per_envelope_cost);
+
+  OrderedPayload payload;
+  try {
+    payload = OrderedPayload::decode(request.payload);
+  } catch (const DecodeError&) {
+    return {};  // a client ordered garbage: recorded by consensus, not cut
+  }
+
+  ChannelState& state = channel_state(payload.channel);
+  if (payload.kind == OrderedPayload::Kind::envelope) {
+    ++envelopes_ordered_;
+    auto full = state.cutter.add(std::move(payload.envelope));
+    if (full.has_value()) {
+      emit_block(payload.channel, state, std::move(*full));
+    } else if (!replica_->replaying_history()) {
+      arm_batch_timer();
+    }
+  } else {
+    // Time-to-cut marker: only effective if the block it targeted has not
+    // been cut yet (identical decision at every replica).
+    if (payload.cut_block_number == state.next_block_number &&
+        state.cutter.pending_count() > 0) {
+      emit_block(payload.channel, state, state.cutter.cut());
+    }
+  }
+  return {};
+}
+
+void OrderingNode::emit_block(const std::string& channel, ChannelState& state,
+                              std::vector<Bytes> envelopes) {
+  // The node thread builds the header sequentially (deterministic across
+  // replicas); only signing and sending go to the worker pool (§5.1).
+  ledger::Block block = ledger::make_block(
+      state.next_block_number++, state.previous_header_hash,
+      std::move(envelopes));
+  state.previous_header_hash = block.header.digest();
+  ++blocks_created_;
+
+  if (replica_->replaying_history()) return;  // state rebuilt, no side effects
+
+  const crypto::Hash256 digest = block.header.digest();
+  const BlockSigner* signer = signer_.get();
+  const runtime::Duration cost =
+      signer->cost_hint() * (options_.double_sign ? 2 : 1);
+  smr::Replica* replica = replica_;
+  replica_->runtime_env().submit_work(
+      cost,
+      [signer, digest, double_sign = options_.double_sign] {
+        Bytes signature = signer->sign(digest);
+        if (double_sign) {
+          // The second signature binds the block to an execution context;
+          // its bytes are irrelevant here, only its CPU cost matters.
+          (void)signer->sign(crypto::sha256(signature));
+        }
+        return signature;
+      },
+      [replica, channel,
+       block = std::move(block)](Bytes signature) mutable {
+        const SignedBlock sb{std::move(channel), std::move(block),
+                             std::move(signature)};
+        replica->push_to_receivers(sb.encode());
+      });
+}
+
+void OrderingNode::arm_batch_timer() {
+  if (options_.batch_timeout <= 0 || batch_timer_armed_) return;
+  batch_timer_armed_ = true;
+  replica_->set_app_timer(options_.batch_timeout);
+}
+
+void OrderingNode::on_app_timer(std::uint64_t token) {
+  (void)token;
+  batch_timer_armed_ = false;
+  send_cut_markers();
+}
+
+void OrderingNode::send_cut_markers() {
+  // Ask the cluster to order a cut for every channel with pending envelopes.
+  // The marker travels through consensus like any request, so all replicas
+  // cut at the same stream position. Duplicate/stale markers are no-ops.
+  bool any_pending = false;
+  for (const auto& [name, state] : channels_) {
+    if (state.cutter.pending_count() == 0) continue;
+    any_pending = true;
+    OrderedPayload marker;
+    marker.kind = OrderedPayload::Kind::time_to_cut;
+    marker.channel = name;
+    marker.cut_block_number = state.next_block_number;
+
+    smr::Request request;
+    request.client = replica_->self_id();
+    const auto now =
+        static_cast<std::uint64_t>(replica_->runtime_env().now());
+    marker_seq_ = std::max(marker_seq_ + 1, now);
+    request.seq = marker_seq_;
+    request.payload = marker.encode();
+    const Bytes encoded = smr::encode_request(request);
+    for (runtime::ProcessId member : replica_->config().members()) {
+      replica_->runtime_env().send(member, encoded);
+    }
+  }
+  if (any_pending) arm_batch_timer();  // keep nudging until the cut lands
+}
+
+std::size_t OrderingNode::pending_in(const std::string& channel) const {
+  const auto it = channels_.find(channel);
+  return it == channels_.end() ? 0 : it->second.cutter.pending_count();
+}
+
+std::size_t OrderingNode::pending_total() const {
+  std::size_t total = 0;
+  for (const auto& [name, state] : channels_) {
+    (void)name;
+    total += state.cutter.pending_count();
+  }
+  return total;
+}
+
+std::vector<std::string> OrderingNode::channels() const {
+  std::vector<std::string> out;
+  out.reserve(channels_.size());
+  for (const auto& [name, state] : channels_) {
+    (void)state;
+    out.push_back(name);
+  }
+  return out;
+}
+
+Bytes OrderingNode::snapshot() const {
+  Writer w;
+  w.u64(envelopes_ordered_);
+  w.u64(blocks_created_);
+  w.u32(static_cast<std::uint32_t>(channels_.size()));
+  for (const auto& [name, state] : channels_) {
+    w.str(name);
+    w.u64(state.next_block_number);
+    w.raw(ByteView(state.previous_header_hash.data(), 32));
+    w.bytes(state.cutter.snapshot());
+  }
+  return std::move(w).take();
+}
+
+void OrderingNode::restore(ByteView snapshot) {
+  Reader r(snapshot);
+  envelopes_ordered_ = r.u64();
+  blocks_created_ = r.u64();
+  channels_.clear();
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string name = r.str();
+    ChannelState& state = channel_state(name);
+    state.next_block_number = r.u64();
+    state.previous_header_hash = crypto::hash_from_bytes(r.raw(32));
+    state.cutter.restore(r.bytes());
+  }
+  r.expect_done();
+}
+
+}  // namespace bft::ordering

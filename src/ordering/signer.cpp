@@ -1,0 +1,47 @@
+#include "ordering/signer.hpp"
+
+#include "smr/replica.hpp"
+
+namespace bft::ordering {
+
+EcdsaBlockSigner::EcdsaBlockSigner(runtime::ProcessId node,
+                                   runtime::Duration cost_hint)
+    : key_(smr::process_signing_key(node)), cost_hint_(cost_hint) {}
+
+Bytes EcdsaBlockSigner::sign(const crypto::Hash256& header_digest) const {
+  return key_.sign(header_digest).to_bytes();
+}
+
+bool EcdsaBlockSigner::verify(runtime::ProcessId signer,
+                              const crypto::Hash256& header_digest,
+                              ByteView signature) const {
+  const auto sig = crypto::Signature::from_bytes(signature);
+  if (!sig.ok()) return false;
+  return smr::process_public_key(signer).verify(header_digest, sig.value());
+}
+
+StubBlockSigner::StubBlockSigner(runtime::ProcessId node,
+                                 runtime::Duration cost_hint)
+    : node_(node), cost_hint_(cost_hint) {}
+
+Bytes StubBlockSigner::compute(runtime::ProcessId node,
+                               const crypto::Hash256& header_digest) {
+  Writer w(48);
+  w.str("stub-block-signature");
+  w.u32(node);
+  w.raw(ByteView(header_digest.data(), header_digest.size()));
+  return crypto::hash_bytes(crypto::sha256(w.data()));
+}
+
+Bytes StubBlockSigner::sign(const crypto::Hash256& header_digest) const {
+  return compute(node_, header_digest);
+}
+
+bool StubBlockSigner::verify(runtime::ProcessId signer,
+                             const crypto::Hash256& header_digest,
+                             ByteView signature) const {
+  const Bytes expected = compute(signer, header_digest);
+  return constant_time_equal(expected, signature);
+}
+
+}  // namespace bft::ordering

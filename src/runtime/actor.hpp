@@ -1,0 +1,81 @@
+// Runtime abstraction: protocol code is written as single-threaded reactive
+// actors against this interface, and runs unchanged on either
+//
+//   * the simulated runtime (sim_runtime.hpp) — deterministic discrete-event
+//     execution with network/CPU models, used by the benchmark harness; or
+//   * the real runtime (real_runtime.hpp) — one event-loop thread per actor
+//     with in-memory channels, used by tests and examples.
+//
+// Rules for actor code: never block, never touch wall-clock time or global
+// randomness directly, interact with the world only through Env.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace bft::runtime {
+
+/// Dense process identifier. Convention used across this codebase: ordering
+/// nodes occupy [0, n), frontends/clients follow.
+using ProcessId = std::uint32_t;
+
+/// Nanoseconds since the run started (simulated or steady-clock).
+using TimePoint = std::int64_t;
+using Duration = std::int64_t;
+
+constexpr Duration usec(std::int64_t v) { return v * 1000; }
+constexpr Duration msec(std::int64_t v) { return v * 1000 * 1000; }
+constexpr Duration sec(std::int64_t v) { return v * 1000 * 1000 * 1000; }
+
+/// Per-process handle to the runtime; valid for the actor's lifetime.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual ProcessId self() const = 0;
+  virtual TimePoint now() const = 0;
+
+  /// Asynchronous, unordered-across-peers, FIFO-per-pair message send.
+  /// Delivery is best-effort: the runtime (or a fault plan) may drop it.
+  virtual void send(ProcessId to, Bytes payload) = 0;
+
+  /// One-shot timer; the returned id (never 0) is passed to on_timer.
+  virtual std::uint64_t set_timer(Duration delay) = 0;
+  virtual void cancel_timer(std::uint64_t id) = 0;
+
+  /// Offloads CPU-heavy work (block signing) to the node's worker pool.
+  /// `work` runs off the event loop; `done` is invoked back on the event loop
+  /// with its result. `cost_hint` drives the simulated duration (the real
+  /// runtime ignores it and takes however long `work` takes).
+  virtual void submit_work(Duration cost_hint, std::function<Bytes()> work,
+                           std::function<void(Bytes)> done) = 0;
+
+  /// Accounts CPU consumed by the current handler (simulated runtime only;
+  /// no-op on the real runtime where the work itself takes the time).
+  virtual void charge_cpu(Duration cost) = 0;
+
+  /// Deterministic per-process random stream.
+  virtual Rng& rng() = 0;
+};
+
+/// A reactive protocol participant.
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  /// Called once before any message/timer, with the permanently valid env.
+  virtual void on_start(Env& env) { env_ = &env; }
+  virtual void on_message(ProcessId from, ByteView payload) = 0;
+  virtual void on_timer(std::uint64_t timer_id) = 0;
+
+ protected:
+  Env& env() const { return *env_; }
+
+ private:
+  Env* env_ = nullptr;
+};
+
+}  // namespace bft::runtime

@@ -1,0 +1,200 @@
+#include "runtime/real_runtime.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace bft::runtime {
+
+struct RealCluster::Process {
+  Actor* actor = nullptr;
+  std::unique_ptr<ProcessEnv> env;
+  BlockingQueue<std::function<void()>> inbox;
+  std::unique_ptr<ThreadPool> workers;
+  Rng rng{0};
+  std::atomic<bool> crashed{false};
+  std::atomic<std::uint64_t> next_timer_id{1};
+  std::mutex cancel_mutex;
+  std::set<std::uint64_t> cancelled_timers;
+  std::thread loop;
+};
+
+class RealCluster::ProcessEnv final : public Env {
+ public:
+  ProcessEnv(RealCluster& cluster, ProcessId id, Process& proc)
+      : cluster_(cluster), id_(id), proc_(proc) {}
+
+  ProcessId self() const override { return id_; }
+  TimePoint now() const override { return cluster_.now(); }
+
+  void send(ProcessId to, Bytes payload) override {
+    if (proc_.crashed.load(std::memory_order_relaxed)) return;
+    cluster_.send_external(id_, to, std::move(payload));
+  }
+
+  std::uint64_t set_timer(Duration delay) override {
+    const std::uint64_t id =
+        proc_.next_timer_id.fetch_add(1, std::memory_order_relaxed);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::nanoseconds(delay);
+    {
+      std::lock_guard<std::mutex> lock(cluster_.timer_mutex_);
+      cluster_.timer_heap_.push_back(
+          TimerEntry{deadline, id_, id, cluster_.timer_seq_++});
+      std::push_heap(cluster_.timer_heap_.begin(), cluster_.timer_heap_.end(),
+                     std::greater<>());
+    }
+    cluster_.timer_cv_.notify_one();
+    return id;
+  }
+
+  void cancel_timer(std::uint64_t id) override {
+    std::lock_guard<std::mutex> lock(proc_.cancel_mutex);
+    proc_.cancelled_timers.insert(id);
+  }
+
+  void submit_work(Duration cost_hint, std::function<Bytes()> work,
+                   std::function<void(Bytes)> done) override {
+    (void)cost_hint;  // real work takes real time
+    proc_.workers->submit(
+        [this, work = std::move(work), done = std::move(done)]() mutable {
+          Bytes result = work();
+          cluster_.enqueue(id_,
+                           [done = std::move(done),
+                            result = std::move(result)]() mutable {
+                             done(std::move(result));
+                           });
+        });
+  }
+
+  void charge_cpu(Duration) override {}  // the hardware charges itself
+
+  Rng& rng() override { return proc_.rng; }
+
+ private:
+  RealCluster& cluster_;
+  ProcessId id_;
+  Process& proc_;
+};
+
+RealCluster::RealCluster() : epoch_(std::chrono::steady_clock::now()) {}
+
+RealCluster::~RealCluster() { stop(); }
+
+void RealCluster::add_process(ProcessId id, Actor* actor,
+                              std::size_t worker_threads) {
+  if (started_.load()) {
+    throw std::logic_error("RealCluster: add_process after start");
+  }
+  if (actor == nullptr) throw std::invalid_argument("add_process: null actor");
+  if (processes_.count(id) > 0) {
+    throw std::invalid_argument("add_process: duplicate process id");
+  }
+  auto proc = std::make_unique<Process>();
+  proc->actor = actor;
+  proc->env = std::make_unique<ProcessEnv>(*this, id, *proc);
+  proc->workers = std::make_unique<ThreadPool>(std::max<std::size_t>(1, worker_threads));
+  proc->rng = Rng(0x5eed0000 + id);
+  processes_.emplace(id, std::move(proc));
+}
+
+void RealCluster::start() {
+  if (started_.exchange(true)) return;
+  timer_thread_ = std::thread([this] { timer_loop(); });
+  for (auto& [id, proc] : processes_) {
+    (void)id;
+    Process* p = proc.get();
+    p->loop = std::thread([p] {
+      while (auto fn = p->inbox.pop()) {
+        if (!p->crashed.load(std::memory_order_relaxed)) (*fn)();
+      }
+    });
+    p->inbox.push([p] { p->actor->on_start(*p->env); });
+  }
+}
+
+void RealCluster::stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(timer_mutex_);
+    timer_heap_.clear();
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
+  // Drain worker pools first so their completions can still enqueue, then
+  // close inboxes and join loops.
+  for (auto& [id, proc] : processes_) {
+    (void)id;
+    proc->workers->drain();
+  }
+  for (auto& [id, proc] : processes_) {
+    (void)id;
+    proc->inbox.close();
+  }
+  for (auto& [id, proc] : processes_) {
+    (void)id;
+    if (proc->loop.joinable()) proc->loop.join();
+  }
+}
+
+void RealCluster::send_external(ProcessId from, ProcessId to, Bytes payload) {
+  enqueue(to, [this, from, to, payload = std::move(payload)]() mutable {
+    processes_.at(to)->actor->on_message(from, payload);
+  });
+}
+
+void RealCluster::post(ProcessId to, std::function<void()> fn) {
+  enqueue(to, std::move(fn));
+}
+
+void RealCluster::crash(ProcessId id) {
+  const auto it = processes_.find(id);
+  if (it != processes_.end()) it->second->crashed.store(true);
+}
+
+TimePoint RealCluster::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void RealCluster::enqueue(ProcessId to, std::function<void()> fn) {
+  const auto it = processes_.find(to);
+  if (it == processes_.end()) return;  // unknown destination: drop
+  if (it->second->crashed.load(std::memory_order_relaxed)) return;
+  it->second->inbox.push(std::move(fn));
+}
+
+void RealCluster::timer_loop() {
+  std::unique_lock<std::mutex> lock(timer_mutex_);
+  while (!stopping_.load()) {
+    if (timer_heap_.empty()) {
+      timer_cv_.wait_for(lock, std::chrono::milliseconds(50));
+      continue;
+    }
+    const TimerEntry next = timer_heap_.front();
+    if (std::chrono::steady_clock::now() < next.deadline) {
+      timer_cv_.wait_until(lock, next.deadline);
+      continue;
+    }
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), std::greater<>());
+    timer_heap_.pop_back();
+    lock.unlock();
+    const auto it = processes_.find(next.process);
+    if (it != processes_.end()) {
+      Process* p = it->second.get();
+      bool cancelled;
+      {
+        std::lock_guard<std::mutex> cancel_lock(p->cancel_mutex);
+        cancelled = p->cancelled_timers.erase(next.timer_id) > 0;
+      }
+      if (!cancelled) {
+        const std::uint64_t tid = next.timer_id;
+        enqueue(next.process, [p, tid] { p->actor->on_timer(tid); });
+      }
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace bft::runtime

@@ -1,0 +1,82 @@
+// Real (threaded) runtime: each actor gets an event-loop thread fed by an
+// in-memory queue, a shared timer service and a private worker pool. Used by
+// integration tests and the runnable examples; semantics match the simulated
+// runtime so protocol code runs unchanged.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runtime/actor.hpp"
+#include "util/queue.hpp"
+#include "util/threadpool.hpp"
+
+namespace bft::runtime {
+
+class RealCluster {
+ public:
+  RealCluster();
+  ~RealCluster();
+
+  RealCluster(const RealCluster&) = delete;
+  RealCluster& operator=(const RealCluster&) = delete;
+
+  /// Registers an actor (not owned) with `worker_threads` signing workers.
+  /// Must be called before start().
+  void add_process(ProcessId id, Actor* actor, std::size_t worker_threads = 2);
+
+  /// Spawns all event loops; each actor's on_start runs on its own loop.
+  void start();
+  /// Stops loops and joins threads; idempotent.
+  void stop();
+
+  /// Injects a message from outside any actor (test driver convenience).
+  void send_external(ProcessId from, ProcessId to, Bytes payload);
+
+  /// Runs `fn` on the actor's own event-loop thread (e.g. to call methods on
+  /// the actor without racing its handlers).
+  void post(ProcessId to, std::function<void()> fn);
+
+  /// Stops delivering anything to `id` (crash fault).
+  void crash(ProcessId id);
+
+  TimePoint now() const;
+
+ private:
+  struct Process;
+  class ProcessEnv;
+
+  void enqueue(ProcessId to, std::function<void()> fn);
+  void timer_loop();
+
+  struct TimerEntry {
+    std::chrono::steady_clock::time_point deadline;
+    ProcessId process;
+    std::uint64_t timer_id;
+    std::uint64_t seq;
+    bool operator>(const TimerEntry& other) const {
+      if (deadline != other.deadline) return deadline > other.deadline;
+      return seq > other.seq;
+    }
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::map<ProcessId, std::unique_ptr<Process>> processes_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex timer_mutex_;
+  std::condition_variable timer_cv_;
+  std::vector<TimerEntry> timer_heap_;
+  std::uint64_t timer_seq_ = 0;
+  std::thread timer_thread_;
+};
+
+}  // namespace bft::runtime

@@ -1,0 +1,163 @@
+#include "runtime/sim_runtime.hpp"
+
+#include <stdexcept>
+
+namespace bft::runtime {
+
+// Env implementation backing one simulated process. Logical time within a
+// handler is the handler's activation time advanced by any charge_cpu calls,
+// so messages sent after a charge leave after the modelled work completes.
+class SimCluster::ProcessEnv final : public Env {
+ public:
+  ProcessEnv(SimCluster& cluster, ProcessId id)
+      : cluster_(cluster), id_(id) {}
+
+  ProcessId self() const override { return id_; }
+
+  TimePoint now() const override {
+    return std::max(logical_now_, cluster_.scheduler_.now());
+  }
+
+  void send(ProcessId to, Bytes payload) override {
+    if (cluster_.crashed_.count(id_)) return;
+    if (cluster_.filter_ &&
+        cluster_.filter_(id_, to, payload) == FilterAction::drop) {
+      return;
+    }
+    // Two-phase transfer: egress + propagation now (send order), ingress
+    // admission as a scheduled event so the receiving NIC serves messages in
+    // arrival order regardless of sender distance.
+    const auto transit =
+        cluster_.network_.begin_transit(id_, to, payload.size(), now());
+    if (!transit.needs_ingress) {
+      cluster_.deliver_message(id_, to, std::move(payload), transit.arrival);
+      return;
+    }
+    cluster_.scheduler_.schedule_at(
+        transit.arrival,
+        [this, to, payload = std::move(payload)]() mutable {
+          const sim::SimTime rx_done = cluster_.network_.finish_transit(
+              to, payload.size(), cluster_.scheduler_.now());
+          cluster_.deliver_message(id_, to, std::move(payload), rx_done);
+        });
+  }
+
+  std::uint64_t set_timer(Duration delay) override {
+    Process& proc = cluster_.process(id_);
+    const std::uint64_t id = proc.next_timer_id++;
+    cluster_.scheduler_.schedule_at(now() + delay, [this, id] {
+      Process& p = cluster_.process(id_);
+      if (cluster_.crashed_.count(id_)) return;
+      if (p.cancelled_timers.erase(id) > 0) return;
+      activate(cluster_.scheduler_.now());
+      p.actor->on_timer(id);
+    });
+    return id;
+  }
+
+  void cancel_timer(std::uint64_t id) override {
+    cluster_.process(id_).cancelled_timers.insert(id);
+  }
+
+  void submit_work(Duration cost_hint, std::function<Bytes()> work,
+                   std::function<void(Bytes)> done) override {
+    Process& proc = cluster_.process(id_);
+    // Execute the computation immediately (zero wall-clock assumptions would
+    // break signatures); deliver the result at the modelled completion time.
+    Bytes result = work();
+    const sim::SimTime completion =
+        proc.cpu ? proc.cpu->run_worker_job(now(), cost_hint)
+                 : now() + cost_hint;
+    cluster_.scheduler_.schedule_at(
+        completion,
+        [this, done = std::move(done), result = std::move(result)]() mutable {
+          if (cluster_.crashed_.count(id_)) return;
+          activate(cluster_.scheduler_.now());
+          done(std::move(result));
+        });
+  }
+
+  void charge_cpu(Duration cost) override {
+    Process& proc = cluster_.process(id_);
+    if (!proc.cpu) return;
+    logical_now_ = proc.cpu->run_protocol_job(now(), cost);
+  }
+
+  Rng& rng() override { return cluster_.process(id_).rng; }
+
+  /// Marks the start of a handler at simulation time `t`.
+  void activate(sim::SimTime t) { logical_now_ = t; }
+
+ private:
+  SimCluster& cluster_;
+  ProcessId id_;
+  sim::SimTime logical_now_ = 0;
+};
+
+SimCluster::SimCluster(sim::Network network, std::uint64_t seed)
+    : network_(std::move(network)), seed_rng_(seed) {}
+
+SimCluster::~SimCluster() = default;
+
+void SimCluster::add_process(ProcessId id, Actor* actor,
+                             std::optional<sim::CpuConfig> cpu) {
+  if (actor == nullptr) throw std::invalid_argument("add_process: null actor");
+  if (processes_.count(id) > 0) {
+    throw std::invalid_argument("add_process: duplicate process id");
+  }
+  Process proc;
+  proc.actor = actor;
+  proc.env = std::make_unique<ProcessEnv>(*this, id);
+  if (cpu) proc.cpu = std::make_unique<sim::CpuModel>(*cpu);
+  proc.rng = seed_rng_.fork();
+  processes_.emplace(id, std::move(proc));
+}
+
+void SimCluster::start() {
+  for (auto& [id, proc] : processes_) {
+    (void)id;
+    if (!proc.started) {
+      proc.started = true;
+      proc.actor->on_start(*proc.env);
+    }
+  }
+}
+
+void SimCluster::run_until(sim::SimTime deadline) {
+  start();
+  scheduler_.run_until(deadline);
+}
+
+void SimCluster::crash(ProcessId id) { crashed_.insert(id); }
+
+void SimCluster::schedule_at(sim::SimTime at, std::function<void()> fn) {
+  scheduler_.schedule_at(at, std::move(fn));
+}
+
+double SimCluster::protocol_utilization(ProcessId id) const {
+  const auto it = processes_.find(id);
+  if (it == processes_.end() || !it->second.cpu) return 0.0;
+  return it->second.cpu->protocol_utilization();
+}
+
+void SimCluster::deliver_message(ProcessId from, ProcessId to, Bytes payload,
+                                 sim::SimTime arrival) {
+  if (processes_.count(to) == 0) return;  // unknown destination: drop
+  scheduler_.schedule_at(
+      arrival, [this, from, to, payload = std::move(payload)]() mutable {
+        if (crashed_.count(to)) return;
+        Process& proc = process(to);
+        proc.env->activate(scheduler_.now());
+        proc.actor->on_message(from, payload);
+      });
+}
+
+SimCluster::Process& SimCluster::process(ProcessId id) {
+  const auto it = processes_.find(id);
+  if (it == processes_.end()) {
+    throw std::logic_error("SimCluster: unknown process");
+  }
+  return it->second;
+}
+
+}  // namespace bft::runtime

@@ -1,0 +1,81 @@
+// Simulated runtime: actors execute inside a discrete-event simulation with
+// explicit network and CPU models. Fully deterministic for a given seed.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "runtime/actor.hpp"
+#include "sim/cpu.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace bft::runtime {
+
+/// Verdict of a message filter (fault injection for tests).
+enum class FilterAction { deliver, drop };
+
+class SimCluster {
+ public:
+  /// `network` decides message delivery times; `seed` feeds per-process RNGs.
+  SimCluster(sim::Network network, std::uint64_t seed);
+  ~SimCluster();  // out of line: ProcessEnv is incomplete here
+
+  /// Registers an actor (not owned). `cpu` is optional: processes without a
+  /// CPU model execute handlers in zero simulated time (clients, frontends).
+  void add_process(ProcessId id, Actor* actor,
+                   std::optional<sim::CpuConfig> cpu = std::nullopt);
+
+  /// Calls on_start on every actor not yet started. Implicit in run_until.
+  void start();
+
+  /// Advances simulated time.
+  void run_until(sim::SimTime deadline);
+  sim::SimTime now() const { return scheduler_.now(); }
+  std::uint64_t executed_events() const { return scheduler_.executed_events(); }
+
+  /// Permanently stops delivering events to `id` (crash fault).
+  void crash(ProcessId id);
+  bool crashed(ProcessId id) const { return crashed_.count(id) > 0; }
+
+  /// Installs a message filter consulted on every send; nullptr clears it.
+  using Filter = std::function<FilterAction(ProcessId from, ProcessId to,
+                                            ByteView payload)>;
+  void set_filter(Filter filter) { filter_ = std::move(filter); }
+
+  /// Schedules an arbitrary callback (workload injection from benches).
+  void schedule_at(sim::SimTime at, std::function<void()> fn);
+
+  /// Protocol-thread utilization of a process (0 if it has no CPU model).
+  double protocol_utilization(ProcessId id) const;
+
+ private:
+  class ProcessEnv;
+
+  struct Process {
+    Actor* actor = nullptr;
+    std::unique_ptr<ProcessEnv> env;
+    std::unique_ptr<sim::CpuModel> cpu;
+    Rng rng{0};
+    std::uint64_t next_timer_id = 1;
+    std::set<std::uint64_t> cancelled_timers;
+    bool started = false;
+  };
+
+  void deliver_message(ProcessId from, ProcessId to, Bytes payload,
+                       sim::SimTime arrival);
+  Process& process(ProcessId id);
+
+  sim::Scheduler scheduler_;
+  sim::Network network_;
+  Rng seed_rng_;
+  std::map<ProcessId, Process> processes_;
+  std::set<ProcessId> crashed_;
+  Filter filter_;
+};
+
+}  // namespace bft::runtime

@@ -1,0 +1,41 @@
+#include "sim/cpu.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bft::sim {
+
+CpuModel::CpuModel(CpuConfig config) : config_(config) {
+  if (config_.worker_threads == 0) {
+    throw std::invalid_argument("CpuModel: need at least one worker thread");
+  }
+  worker_free_.assign(config_.worker_threads, 0);
+}
+
+SimTime CpuModel::run_protocol_job(SimTime now, SimTime cost) {
+  const SimTime start = std::max(now, protocol_free_);
+  const SimTime idle = start - std::max(protocol_free_, SimTime{0});
+  const SimTime done = start + cost;
+  protocol_free_ = done;
+
+  // Busy fraction of the interval spanning this job plus the idle gap
+  // preceding it, folded into the EWMA.
+  const double span = static_cast<double>(cost + idle);
+  if (span > 0) {
+    const double busy = static_cast<double>(cost) / span;
+    utilization_ = config_.utilization_alpha * busy +
+                   (1.0 - config_.utilization_alpha) * utilization_;
+  }
+  return done;
+}
+
+SimTime CpuModel::run_worker_job(SimTime now, SimTime cost) {
+  auto it = std::min_element(worker_free_.begin(), worker_free_.end());
+  const SimTime start = std::max(now, *it);
+  const double factor = 1.0 + config_.contention_beta * utilization_;
+  const SimTime done = start + static_cast<SimTime>(static_cast<double>(cost) * factor);
+  *it = done;
+  return done;
+}
+
+}  // namespace bft::sim

@@ -1,0 +1,108 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bft::sim {
+
+Network::Network(NetworkConfig config, std::vector<std::uint32_t> process_machine,
+                 std::vector<std::vector<SimTime>> machine_latency, Rng rng)
+    : config_(config),
+      process_machine_(std::move(process_machine)),
+      machine_latency_(std::move(machine_latency)),
+      rng_(rng) {
+  if (config_.bandwidth_bps <= 0) {
+    throw std::invalid_argument("Network: bandwidth must be positive");
+  }
+  std::uint32_t machines = 0;
+  for (auto m : process_machine_) machines = std::max(machines, m + 1);
+  if (machine_latency_.size() < machines) {
+    throw std::invalid_argument("Network: latency matrix smaller than machine count");
+  }
+  for (const auto& row : machine_latency_) {
+    if (row.size() != machine_latency_.size()) {
+      throw std::invalid_argument("Network: latency matrix must be square");
+    }
+  }
+  egress_free_.assign(machine_latency_.size(), 0);
+  ingress_free_.assign(machine_latency_.size(), 0);
+  machine_bandwidth_.assign(machine_latency_.size(), config_.bandwidth_bps);
+}
+
+void Network::set_machine_bandwidth(std::uint32_t machine, double bandwidth_bps) {
+  if (bandwidth_bps <= 0) {
+    throw std::invalid_argument("set_machine_bandwidth: bandwidth must be positive");
+  }
+  machine_bandwidth_.at(machine) = bandwidth_bps;
+}
+
+namespace {
+
+SimTime wire_time_for(double bandwidth_bps, std::uint32_t overhead,
+                      std::size_t payload_size) {
+  const double bytes = static_cast<double>(payload_size) + overhead;
+  return static_cast<SimTime>(bytes / bandwidth_bps *
+                              static_cast<double>(kSecond));
+}
+
+}  // namespace
+
+Network::Transit Network::begin_transit(ProcessId from, ProcessId to,
+                                        std::size_t payload_size, SimTime now) {
+  const std::uint32_t m_from = process_machine_.at(from);
+  const std::uint32_t m_to = process_machine_.at(to);
+
+  if (m_from == m_to) {
+    return Transit{now + config_.loopback_latency, false};
+  }
+
+  const SimTime wire_time =
+      wire_time_for(machine_bandwidth_[m_from], config_.overhead_bytes,
+                    payload_size);
+
+  // Egress serialization at the sender's NIC.
+  SimTime& egress = egress_free_[m_from];
+  const SimTime tx_start = std::max(now, egress);
+  const SimTime tx_done = tx_start + wire_time;
+  egress = tx_done;
+
+  // Propagation with optional jitter.
+  SimTime latency = machine_latency_[m_from][m_to];
+  if (config_.jitter_sigma > 0.0) {
+    latency = static_cast<SimTime>(static_cast<double>(latency) *
+                                   rng_.lognormal_factor(config_.jitter_sigma));
+  }
+  return Transit{tx_done + latency, true};
+}
+
+SimTime Network::finish_transit(ProcessId to, std::size_t payload_size,
+                                SimTime nic_arrival) {
+  const std::uint32_t m_to = process_machine_.at(to);
+  SimTime& ingress = ingress_free_[m_to];
+  const SimTime rx_start = std::max(nic_arrival, ingress);
+  const SimTime rx_done =
+      rx_start + wire_time_for(machine_bandwidth_[m_to], config_.overhead_bytes,
+                               payload_size);
+  ingress = rx_done;
+  return rx_done;
+}
+
+SimTime Network::delivery_time(ProcessId from, ProcessId to,
+                               std::size_t payload_size, SimTime now) {
+  const Transit transit = begin_transit(from, to, payload_size, now);
+  if (!transit.needs_ingress) return transit.arrival;
+  return finish_transit(to, payload_size, transit.arrival);
+}
+
+Network make_lan(std::uint32_t processes, SimTime latency, NetworkConfig config,
+                 std::uint64_t seed) {
+  std::vector<std::uint32_t> machine(processes);
+  for (std::uint32_t p = 0; p < processes; ++p) machine[p] = p;
+  std::vector<std::vector<SimTime>> matrix(
+      processes, std::vector<SimTime>(processes, latency));
+  for (std::uint32_t p = 0; p < processes; ++p) matrix[p][p] = 0;
+  return Network(config, std::move(machine), std::move(matrix), Rng(seed));
+}
+
+}  // namespace bft::sim

@@ -1,0 +1,89 @@
+// Network models for the simulated runtime.
+//
+// A model answers one question: when does a message of `size` bytes sent from
+// process a to process b at time t arrive? Two effects are modelled:
+//
+//   * serialization — each process has an egress NIC and an ingress NIC with
+//     finite bandwidth; transmissions queue FIFO per NIC (this is what makes
+//     block fan-out to many receivers the bottleneck in Figure 7);
+//   * propagation — per-pair base latency plus multiplicative jitter (this is
+//     what shapes the WAN latencies of Figures 8/9).
+//
+// Processes may share a machine (the paper packs 16-32 frontends onto two
+// client machines); machine mapping makes them share NICs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace bft::sim {
+
+using ProcessId = std::uint32_t;
+
+struct NetworkConfig {
+  /// NIC bandwidth in bytes/second (full duplex: egress and ingress separate).
+  double bandwidth_bps = 125e6;  // 1 Gbit/s
+  /// Fixed per-message overhead added to the payload size (headers, framing).
+  std::uint32_t overhead_bytes = 120;
+  /// Multiplicative latency jitter (sigma of a lognormal with mean 1); 0 = none.
+  double jitter_sigma = 0.0;
+  /// Messages between processes on the same machine skip the NICs and use
+  /// this constant latency instead.
+  SimTime loopback_latency = 20 * kMicrosecond;
+};
+
+class Network {
+ public:
+  /// `process_machine[p]` maps each process to a machine; processes on the
+  /// same machine share NICs. `latency[m1][m2]` is the one-way propagation
+  /// delay between machines.
+  Network(NetworkConfig config, std::vector<std::uint32_t> process_machine,
+          std::vector<std::vector<SimTime>> machine_latency, Rng rng);
+
+  /// Phase 1 of a transfer: egress serialization + propagation. Returns when
+  /// the message reaches the receiver's NIC (`ingress == true`) or, for
+  /// same-machine messages, the final delivery time (`ingress == false`).
+  /// Call once per message in send order.
+  struct Transit {
+    SimTime arrival = 0;
+    bool needs_ingress = false;
+  };
+  Transit begin_transit(ProcessId from, ProcessId to, std::size_t payload_size,
+                        SimTime now);
+
+  /// Phase 2: ingress serialization at the receiver's NIC. MUST be called in
+  /// nic_arrival order (the simulated runtime does this by scheduling the
+  /// admission as an event), otherwise far senders would reserve the NIC
+  /// ahead of earlier-arriving near traffic.
+  SimTime finish_transit(ProcessId to, std::size_t payload_size,
+                         SimTime nic_arrival);
+
+  /// Convenience for unit tests: both phases back to back.
+  SimTime delivery_time(ProcessId from, ProcessId to, std::size_t payload_size,
+                        SimTime now);
+
+  /// Overrides one machine's NIC bandwidth (bytes/s, both directions); the
+  /// default is NetworkConfig::bandwidth_bps.
+  void set_machine_bandwidth(std::uint32_t machine, double bandwidth_bps);
+
+  std::uint32_t machine_of(ProcessId p) const { return process_machine_.at(p); }
+
+ private:
+  NetworkConfig config_;
+  std::vector<std::uint32_t> process_machine_;
+  std::vector<std::vector<SimTime>> machine_latency_;
+  std::vector<SimTime> egress_free_;  // per machine
+  std::vector<SimTime> ingress_free_;
+  std::vector<double> machine_bandwidth_;
+  Rng rng_;
+};
+
+/// Builds a uniform-latency single-switch LAN where every process has its own
+/// machine.
+Network make_lan(std::uint32_t processes, SimTime latency, NetworkConfig config,
+                 std::uint64_t seed);
+
+}  // namespace bft::sim

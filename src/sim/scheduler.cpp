@@ -1,0 +1,38 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace bft::sim {
+
+void Scheduler::schedule_at(SimTime at, std::function<void()> fn) {
+  if (at < now_) throw std::invalid_argument("Scheduler: event scheduled in the past");
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Scheduler::schedule_after(SimTime delay, std::function<void()> fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the function object must be moved out
+  // before pop, so copy the header fields and steal the callable.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Scheduler::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Scheduler::run_to_completion() {
+  while (step()) {
+  }
+}
+
+}  // namespace bft::sim

@@ -1,0 +1,61 @@
+// Deterministic discrete-event scheduler.
+//
+// Events are ordered by (time, insertion sequence), so two runs with the same
+// seed execute the exact same event sequence — the property the benchmark
+// determinism test relies on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace bft::sim {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000;
+constexpr SimTime kMillisecond = 1000 * 1000;
+constexpr SimTime kSecond = 1000 * 1000 * 1000;
+
+class Scheduler {
+ public:
+  /// Schedules `fn` at absolute time `at` (must be >= now()).
+  void schedule_at(SimTime at, std::function<void()> fn);
+  /// Schedules `fn` after `delay` relative to now().
+  void schedule_after(SimTime delay, std::function<void()> fn);
+
+  SimTime now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+  /// Runs a single event; returns false if none remain.
+  bool step();
+  /// Runs until the queue empties or `deadline` passes; on return now() is
+  /// min(deadline, time of last event).
+  void run_until(SimTime deadline);
+  /// Drains everything (use only with self-terminating workloads).
+  void run_to_completion();
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace bft::sim

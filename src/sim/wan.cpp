@@ -1,0 +1,55 @@
+#include "sim/wan.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace bft::sim {
+
+namespace {
+
+// Round-trip times in milliseconds between AWS regions, approximating public
+// measurements from the paper's period (2017): us-west-2, eu-west-1,
+// ap-southeast-2, sa-east-1, us-east-1, ca-central-1.
+constexpr std::array<std::array<double, kRegionCount>, kRegionCount> kRttMs = {{
+    //           OR     IE     SYD    SP     VA     CA
+    /* OR  */ {{0.5, 130.0, 160.0, 180.0, 70.0, 65.0}},
+    /* IE  */ {{130.0, 0.5, 280.0, 185.0, 80.0, 90.0}},
+    /* SYD */ {{160.0, 280.0, 0.5, 310.0, 200.0, 210.0}},
+    /* SP  */ {{180.0, 185.0, 310.0, 0.5, 120.0, 130.0}},
+    /* VA  */ {{70.0, 80.0, 200.0, 120.0, 0.5, 20.0}},
+    /* CA  */ {{65.0, 90.0, 210.0, 130.0, 20.0, 0.5}},
+}};
+
+}  // namespace
+
+const std::string& region_name(Region r) {
+  static const std::array<std::string, kRegionCount> names = {
+      "Oregon", "Ireland", "Sydney", "SaoPaulo", "Virginia", "Canada"};
+  const auto idx = static_cast<std::size_t>(r);
+  if (idx >= kRegionCount) throw std::out_of_range("region_name: bad region");
+  return names[idx];
+}
+
+SimTime one_way_latency(Region a, Region b) {
+  const auto ia = static_cast<std::size_t>(a);
+  const auto ib = static_cast<std::size_t>(b);
+  if (ia >= kRegionCount || ib >= kRegionCount) {
+    throw std::out_of_range("one_way_latency: bad region");
+  }
+  return static_cast<SimTime>(kRttMs[ia][ib] / 2.0 *
+                              static_cast<double>(kMillisecond));
+}
+
+std::vector<std::vector<SimTime>> wan_latency_matrix(
+    const std::vector<Region>& regions) {
+  const std::size_t n = regions.size();
+  std::vector<std::vector<SimTime>> matrix(n, std::vector<SimTime>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      matrix[i][j] = i == j ? 0 : one_way_latency(regions[i], regions[j]);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace bft::sim

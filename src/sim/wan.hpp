@@ -1,0 +1,40 @@
+// Inter-region latencies for the geo-distributed experiments (§6.3).
+//
+// The paper deploys ordering nodes in Oregon, Ireland, Sydney and São Paulo
+// (plus Virginia as WHEAT's extra replica) and frontends in Canada, Oregon,
+// Virginia and São Paulo, all on Amazon EC2. We substitute the live testbed
+// with a latency matrix of publicly measured AWS inter-region round-trip
+// times (c. 2017, the paper's era); one-way delay is RTT/2 with lognormal
+// jitter applied by the network model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace bft::sim {
+
+enum class Region {
+  oregon = 0,
+  ireland = 1,
+  sydney = 2,
+  sao_paulo = 3,
+  virginia = 4,
+  canada = 5,
+};
+
+constexpr std::size_t kRegionCount = 6;
+
+const std::string& region_name(Region r);
+
+/// One-way propagation delay between two regions (RTT/2). Intra-region pairs
+/// get a small in-datacenter delay.
+SimTime one_way_latency(Region a, Region b);
+
+/// Builds the full machine-latency matrix for a deployment: machine i sits in
+/// regions[i].
+std::vector<std::vector<SimTime>> wan_latency_matrix(
+    const std::vector<Region>& regions);
+
+}  // namespace bft::sim

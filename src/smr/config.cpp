@@ -1,0 +1,126 @@
+#include "smr/config.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/serial.hpp"
+
+namespace bft::smr {
+
+namespace {
+
+consensus::QuorumSystem build_quorums(
+    const std::vector<runtime::ProcessId>& members, bool wheat,
+    const std::set<runtime::ProcessId>& vmax_members) {
+  const auto n = static_cast<std::uint32_t>(members.size());
+  if (!wheat) return consensus::QuorumSystem::classic(n);
+  const std::uint32_t f = (vmax_members.size()) / 2;
+  std::set<consensus::ReplicaId> vmax_indices;
+  for (runtime::ProcessId p : vmax_members) {
+    const auto it = std::lower_bound(members.begin(), members.end(), p);
+    if (it == members.end() || *it != p) {
+      throw std::invalid_argument("ClusterConfig: Vmax process not a member");
+    }
+    vmax_indices.insert(
+        static_cast<consensus::ReplicaId>(it - members.begin()));
+  }
+  return consensus::QuorumSystem::wheat(n, f, vmax_indices);
+}
+
+}  // namespace
+
+ClusterConfig::ClusterConfig(std::vector<runtime::ProcessId> members, bool wheat,
+                             std::set<runtime::ProcessId> vmax_members)
+    : members_(std::move(members)),
+      wheat_(wheat),
+      vmax_members_(std::move(vmax_members)),
+      quorums_(build_quorums(members_, wheat_, vmax_members_)) {}
+
+ClusterConfig ClusterConfig::classic(std::vector<runtime::ProcessId> members) {
+  std::sort(members.begin(), members.end());
+  if (std::adjacent_find(members.begin(), members.end()) != members.end()) {
+    throw std::invalid_argument("ClusterConfig: duplicate member");
+  }
+  return ClusterConfig(std::move(members), false, {});
+}
+
+ClusterConfig ClusterConfig::wheat(std::vector<runtime::ProcessId> members,
+                                   std::set<runtime::ProcessId> vmax_members) {
+  std::sort(members.begin(), members.end());
+  if (std::adjacent_find(members.begin(), members.end()) != members.end()) {
+    throw std::invalid_argument("ClusterConfig: duplicate member");
+  }
+  if (vmax_members.size() % 2 != 0 || vmax_members.empty()) {
+    throw std::invalid_argument("ClusterConfig: wheat needs exactly 2f Vmax members");
+  }
+  return ClusterConfig(std::move(members), true, std::move(vmax_members));
+}
+
+bool ClusterConfig::contains(runtime::ProcessId p) const {
+  return std::binary_search(members_.begin(), members_.end(), p);
+}
+
+consensus::ReplicaId ClusterConfig::index_of(runtime::ProcessId p) const {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), p);
+  if (it == members_.end() || *it != p) {
+    throw std::out_of_range("ClusterConfig: process is not a member");
+  }
+  return static_cast<consensus::ReplicaId>(it - members_.begin());
+}
+
+runtime::ProcessId ClusterConfig::member_at(consensus::ReplicaId index) const {
+  return members_.at(index);
+}
+
+runtime::ProcessId ClusterConfig::leader(consensus::Epoch regency) const {
+  return members_[regency % members_.size()];
+}
+
+ClusterConfig ClusterConfig::with_member_added(runtime::ProcessId p) const {
+  if (contains(p)) throw std::invalid_argument("with_member_added: already a member");
+  std::vector<runtime::ProcessId> members = members_;
+  members.push_back(p);
+  std::sort(members.begin(), members.end());
+  return ClusterConfig(std::move(members), wheat_, vmax_members_);
+}
+
+ClusterConfig ClusterConfig::with_member_removed(runtime::ProcessId p) const {
+  if (!contains(p)) throw std::invalid_argument("with_member_removed: not a member");
+  std::vector<runtime::ProcessId> members;
+  members.reserve(members_.size() - 1);
+  for (runtime::ProcessId m : members_) {
+    if (m != p) members.push_back(m);
+  }
+  std::set<runtime::ProcessId> vmax = vmax_members_;
+  vmax.erase(p);
+  // Removing a Vmax member from a WHEAT config breaks the 2f-Vmax invariant;
+  // fall back to classic weights in that case.
+  const bool still_wheat = wheat_ && vmax.size() == vmax_members_.size();
+  return ClusterConfig(std::move(members), still_wheat,
+                       still_wheat ? vmax : std::set<runtime::ProcessId>{});
+}
+
+Bytes ClusterConfig::encode() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(members_.size()));
+  for (runtime::ProcessId p : members_) w.u32(p);
+  w.boolean(wheat_);
+  w.u32(static_cast<std::uint32_t>(vmax_members_.size()));
+  for (runtime::ProcessId p : vmax_members_) w.u32(p);
+  return std::move(w).take();
+}
+
+ClusterConfig ClusterConfig::decode(ByteView data) {
+  Reader r(data);
+  std::vector<runtime::ProcessId> members(r.u32());
+  for (auto& p : members) p = r.u32();
+  const bool wheat = r.boolean();
+  std::set<runtime::ProcessId> vmax;
+  const std::uint32_t vmax_count = r.u32();
+  for (std::uint32_t i = 0; i < vmax_count; ++i) vmax.insert(r.u32());
+  r.expect_done();
+  return wheat ? ClusterConfig::wheat(std::move(members), std::move(vmax))
+               : ClusterConfig::classic(std::move(members));
+}
+
+}  // namespace bft::smr

@@ -1,0 +1,93 @@
+// Cluster membership and per-replica parameters.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "consensus/quorum.hpp"
+#include "runtime/actor.hpp"
+
+namespace bft::smr {
+
+/// Group membership. Replica indices (the QuorumSystem's ReplicaId space) are
+/// positions in the sorted member vector, so every replica derives identical
+/// indices from the same membership.
+class ClusterConfig {
+ public:
+  /// Classic BFT-SMaRt configuration (uniform weights).
+  static ClusterConfig classic(std::vector<runtime::ProcessId> members);
+
+  /// WHEAT configuration: `vmax_members` are the 2f processes carrying Vmax.
+  static ClusterConfig wheat(std::vector<runtime::ProcessId> members,
+                             std::set<runtime::ProcessId> vmax_members);
+
+  const std::vector<runtime::ProcessId>& members() const { return members_; }
+  std::uint32_t n() const { return static_cast<std::uint32_t>(members_.size()); }
+  bool is_wheat() const { return wheat_; }
+  const std::set<runtime::ProcessId>& vmax_members() const { return vmax_members_; }
+
+  bool contains(runtime::ProcessId p) const;
+  /// Replica index of `p`; throws std::out_of_range if not a member.
+  consensus::ReplicaId index_of(runtime::ProcessId p) const;
+  runtime::ProcessId member_at(consensus::ReplicaId index) const;
+  /// The leader process of a regency (round-robin over members).
+  runtime::ProcessId leader(consensus::Epoch regency) const;
+
+  const consensus::QuorumSystem& quorums() const { return quorums_; }
+
+  /// Returns a new config with `p` added / removed (classic weights are
+  /// recomputed; WHEAT Vmax membership is preserved where still valid).
+  ClusterConfig with_member_added(runtime::ProcessId p) const;
+  ClusterConfig with_member_removed(runtime::ProcessId p) const;
+
+  Bytes encode() const;
+  static ClusterConfig decode(ByteView data);
+
+  bool operator==(const ClusterConfig& other) const {
+    return members_ == other.members_ && wheat_ == other.wheat_ &&
+           vmax_members_ == other.vmax_members_;
+  }
+
+ private:
+  ClusterConfig(std::vector<runtime::ProcessId> members, bool wheat,
+                std::set<runtime::ProcessId> vmax_members);
+
+  std::vector<runtime::ProcessId> members_;  // sorted
+  bool wheat_;
+  std::set<runtime::ProcessId> vmax_members_;
+  consensus::QuorumSystem quorums_;
+};
+
+/// CPU cost model charged on the simulated runtime (no-ops on real threads).
+/// Calibrated in DESIGN.md §6 against the paper's Dell R410 numbers.
+struct CostModel {
+  runtime::Duration per_request = runtime::usec(6);
+  runtime::Duration per_consensus_msg = runtime::usec(15);
+  /// Per-byte handling cost of proposal payloads (ns/byte).
+  runtime::Duration per_value_byte = 1;
+  /// ECDSA block signature (paper: 8.4 ksig/s across 16 workers).
+  runtime::Duration signature = runtime::usec(1905);
+};
+
+struct ReplicaParams {
+  std::uint32_t batch_max = 400;  // §6.2: BFT-SMaRt batch limit
+  /// WHEAT tentative execution: deliver after WRITE, run ACCEPT async.
+  bool tentative_execution = false;
+  /// Sign WRITE messages so synchronization-phase certificates are
+  /// transferable (disable on throughput benches, where no leader changes
+  /// happen, to match BFT-SMaRt's MAC-authenticated normal case).
+  bool sign_writes = true;
+  runtime::Duration forward_timeout = runtime::msec(500);
+  runtime::Duration stop_timeout = runtime::msec(1000);
+  runtime::Duration sync_deadline = runtime::msec(2000);
+  std::uint64_t checkpoint_period = 1024;
+  std::uint64_t state_transfer_gap = 32;
+  runtime::Duration state_transfer_retry = runtime::msec(500);
+  /// Stall detector: seeing traffic for future slots while the next slot
+  /// stays undecided for this long forces a state transfer (recovers
+  /// decisions whose ACCEPT quorum this replica missed).
+  runtime::Duration stall_timeout = runtime::msec(1000);
+  CostModel costs;
+};
+
+}  // namespace bft::smr

@@ -1,0 +1,1160 @@
+#include "smr/replica.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/log.hpp"
+
+namespace bft::smr {
+
+using consensus::Epoch;
+using consensus::ReplicaId;
+using runtime::ProcessId;
+
+crypto::PrivateKey process_signing_key(ProcessId id) {
+  return crypto::PrivateKey::from_seed(to_bytes("bft-process-" + std::to_string(id)));
+}
+
+const crypto::PublicKey& process_public_key(ProcessId id) {
+  static std::mutex mutex;
+  static std::map<ProcessId, crypto::PublicKey> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(id);
+  if (it == cache.end()) {
+    it = cache.emplace(id, process_signing_key(id).public_key()).first;
+  }
+  return it->second;
+}
+
+Bytes encode_reconfig(ReconfigOp op, ProcessId node) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u32(node);
+  return std::move(w).take();
+}
+
+std::pair<ReconfigOp, ProcessId> decode_reconfig(ByteView payload) {
+  Reader r(payload);
+  const std::uint8_t op = r.u8();
+  if (op != 1 && op != 2) throw DecodeError("bad reconfig op");
+  const ProcessId node = r.u32();
+  r.expect_done();
+  return {static_cast<ReconfigOp>(op), node};
+}
+
+Replica::Replica(ProcessId self, ClusterConfig config, ReplicaParams params,
+                 StateMachine* app, Replier* replier)
+    : self_(self),
+      config_(std::move(config)),
+      params_(params),
+      app_(app),
+      replier_(replier),
+      signing_key_(process_signing_key(self)) {
+  if (app_ == nullptr) throw std::invalid_argument("Replica: null state machine");
+}
+
+bool Replica::is_leader() const {
+  return is_active_member() && config_.leader(regency_) == self_;
+}
+
+void Replica::on_start(runtime::Env& env) {
+  Actor::on_start(env);
+  checkpoint_snapshot_ = make_core_snapshot();
+  if (!is_active_member()) {
+    // Joining node: poll the cluster for state until a reconfiguration
+    // admits us (§5.2).
+    begin_state_transfer();
+  }
+}
+
+void Replica::on_message(ProcessId from, ByteView payload) {
+  try {
+    switch (peek_kind(payload)) {
+      case MsgKind::request:
+        charge(params_.costs.per_request +
+               static_cast<runtime::Duration>(payload.size()) *
+                   params_.costs.per_value_byte);
+        handle_request(from, decode_request(payload), false);
+        break;
+      case MsgKind::forward:
+        charge(params_.costs.per_request);
+        handle_request(from, decode_forward(payload), true);
+        break;
+      case MsgKind::propose:
+        charge(params_.costs.per_consensus_msg +
+               static_cast<runtime::Duration>(payload.size()) *
+                   params_.costs.per_value_byte);
+        handle_propose(from, decode_propose(payload));
+        break;
+      case MsgKind::write:
+        charge(params_.costs.per_consensus_msg);
+        handle_write(from, decode_write(payload));
+        break;
+      case MsgKind::accept:
+        charge(params_.costs.per_consensus_msg);
+        handle_accept(from, decode_accept(payload));
+        break;
+      case MsgKind::stop:
+        handle_stop(from, decode_stop(payload));
+        break;
+      case MsgKind::stopdata:
+        handle_stopdata(from, decode_stopdata(payload));
+        break;
+      case MsgKind::sync:
+        handle_sync(from, decode_sync(payload));
+        break;
+      case MsgKind::state_request:
+        handle_state_request(from, decode_state_request(payload));
+        break;
+      case MsgKind::state_reply:
+        handle_state_reply(from, decode_state_reply(payload), payload);
+        break;
+      case MsgKind::value_request:
+        handle_value_request(from, decode_value_request(payload));
+        break;
+      case MsgKind::value_reply:
+        handle_value_reply(from, decode_value_reply(payload));
+        break;
+      case MsgKind::register_receiver:
+        receivers_.insert(from);
+        break;
+      default:
+        break;  // not addressed to the replica role
+    }
+  } catch (const DecodeError&) {
+    BFT_LOG(warn) << "replica " << self_ << ": malformed message from " << from;
+  }
+}
+
+std::uint64_t Replica::set_app_timer(runtime::Duration delay) {
+  const std::uint64_t id = env().set_timer(delay);
+  app_timers_.insert(id);
+  return id;
+}
+
+void Replica::on_timer(std::uint64_t timer_id) {
+  if (app_timers_.erase(timer_id) > 0) {
+    app_->on_app_timer(timer_id);
+    return;
+  }
+  if (timer_id == request_timer_) {
+    request_timer_ = 0;
+    if (pending_.empty() || !is_active_member()) return;
+    if (!forwarded_phase_) {
+      // First expiry: relay pending requests to the suspected-slow leader.
+      const ProcessId leader = config_.leader(regency_);
+      if (leader != self_) {
+        std::uint32_t sent = 0;
+        for (const auto& [key, entry] : pending_) {
+          (void)key;
+          env().send(leader, encode_forward(entry.request));
+          if (++sent >= params_.batch_max) break;
+        }
+      }
+      forwarded_phase_ = true;
+      request_timer_ = env().set_timer(params_.stop_timeout
+                                       << std::min<std::uint32_t>(timeout_backoff_, 6));
+    } else {
+      // Second expiry: the leader is faulty; demand a regency change.
+      forwarded_phase_ = false;
+      const Epoch next = std::max(
+          regency_, sent_stop_.empty() ? regency_ : *sent_stop_.rbegin()) + 1;
+      start_regency_change(next);
+    }
+    return;
+  }
+  if (timer_id == sync_timer_) {
+    sync_timer_ = 0;
+    if (confirm_cursor_ < sync_cid_ && is_active_member()) {
+      ++timeout_backoff_;
+      const Epoch next = std::max(
+          regency_, sent_stop_.empty() ? regency_ : *sent_stop_.rbegin()) + 1;
+      start_regency_change(next);
+    }
+    return;
+  }
+  if (timer_id == stall_timer_) {
+    stall_timer_ = 0;
+    if (!transferring_ && is_active_member()) {
+      if (confirm_cursor_ == stall_anchor_cid_) {
+        // Others moved on while our next slot stayed undecided: fetch state.
+        begin_state_transfer();
+      } else if (!instances_.empty() &&
+                 instances_.rbegin()->first > confirm_cursor_) {
+        // We progressed but still trail slots with known traffic; keep
+        // watching (the traffic may already have dried up).
+        stall_anchor_cid_ = confirm_cursor_;
+        stall_timer_ = env().set_timer(params_.stall_timeout);
+      }
+    }
+    return;
+  }
+  if (timer_id == transfer_timer_) {
+    transfer_timer_ = 0;
+    if (transferring_) {
+      transferring_ = false;
+      begin_state_transfer();  // resend requests
+    } else if (!is_active_member()) {
+      begin_state_transfer();  // learner keeps polling
+    }
+    return;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Requests and batching
+// --------------------------------------------------------------------------
+
+void Replica::handle_request(ProcessId from, const Request& request,
+                             bool forwarded) {
+  (void)from;
+  if (!is_active_member()) return;
+  const auto it = last_executed_seq_.find(request.client);
+  if (it != last_executed_seq_.end() && request.seq <= it->second) {
+    // Already executed: resend the cached reply so a retrying client settles.
+    if (!forwarded && replier_ == nullptr) {
+      const auto cache_it = reply_cache_.find(request.client);
+      if (cache_it != reply_cache_.end()) {
+        const auto reply_it = cache_it->second.find(request.seq);
+        if (reply_it != cache_it->second.end()) {
+          env().send(request.client, encode_reply(reply_it->second));
+        }
+      }
+    }
+    return;
+  }
+  const RequestKey key{request.client, request.seq};
+  if (pending_.count(key) > 0) return;
+  pending_.emplace(key, PendingRequest{request, false});
+  pending_order_.push_back(key);
+  arm_request_timer();
+  maybe_propose();
+}
+
+void Replica::maybe_propose() {
+  if (transferring_ || sync_in_progress_ || !is_leader()) return;
+  // Drop already-consumed keys from the arrival queue's front.
+  while (!pending_order_.empty() && pending_.count(pending_order_.front()) == 0) {
+    pending_order_.pop_front();
+  }
+  if (order_frontier_ < confirm_cursor_) order_frontier_ = confirm_cursor_;
+  const ConsensusId next = order_frontier_ + 1;
+  InstanceDriver& d = driver(next);
+  if (d.proposed_by_me || d.instance.decided()) return;
+
+  Batch batch;
+  for (const RequestKey& key : pending_order_) {
+    const auto it = pending_.find(key);
+    if (it == pending_.end() || it->second.inflight) continue;
+    batch.requests.push_back(it->second.request);
+    if (batch.requests.size() >= params_.batch_max) break;
+  }
+  if (batch.requests.empty()) return;
+  for (const Request& r : batch.requests) {
+    pending_.at({r.client, r.seq}).inflight = true;
+  }
+  d.proposed_by_me = true;
+
+  Bytes value = batch.encode();
+  charge(params_.costs.per_consensus_msg +
+         static_cast<runtime::Duration>(value.size()) *
+             params_.costs.per_value_byte);
+  broadcast(encode_propose(Propose{next, regency_, value}));
+  accept_proposal(next, regency_, self_, std::move(value));
+}
+
+// --------------------------------------------------------------------------
+// Consensus: PROPOSE / WRITE / ACCEPT
+// --------------------------------------------------------------------------
+
+Replica::InstanceDriver& Replica::driver(ConsensusId cid) {
+  auto it = instances_.find(cid);
+  if (it == instances_.end()) {
+    it = instances_
+             .emplace(std::piecewise_construct, std::forward_as_tuple(cid),
+                      std::forward_as_tuple(cid, &config_.quorums()))
+             .first;
+  }
+  return it->second;
+}
+
+bool Replica::admit_consensus_cid(ConsensusId cid) {
+  if (cid <= confirm_cursor_) return false;  // stale slot
+  if (cid > confirm_cursor_ + params_.state_transfer_gap) {
+    begin_state_transfer();
+    // Keep recording votes within a bounded window so decisions reached
+    // while the transfer is in flight are not lost; beyond it, drop
+    // (Byzantine memory-exhaustion guard).
+    if (cid > confirm_cursor_ + params_.state_transfer_gap * 8) return false;
+  }
+  note_future_traffic(cid);
+  return true;
+}
+
+void Replica::handle_propose(ProcessId from, const Propose& msg) {
+  if (!is_active_member() || !config_.contains(from)) return;
+  if (!admit_consensus_cid(msg.cid)) return;
+  if (msg.epoch != regency_) return;  // old or future regency
+  accept_proposal(msg.cid, msg.epoch, from, msg.value);
+}
+
+void Replica::accept_proposal(ConsensusId cid, Epoch epoch, ProcessId from,
+                              Bytes value) {
+  if (config_.leader(epoch) != from) return;
+  try {
+    (void)Batch::decode(value);  // structural validation of the proposal
+  } catch (const DecodeError&) {
+    BFT_LOG(warn) << "replica " << self_ << ": malformed proposal from " << from;
+    return;
+  }
+  InstanceDriver& d = driver(cid);
+  const ValueHash hash = d.instance.add_value(std::move(value));
+  const ReplicaId from_idx = config_.index_of(from);
+  const ReplicaId leader_idx = config_.index_of(config_.leader(epoch));
+  if (d.instance.on_propose(epoch, from_idx, leader_idx, hash) &&
+      epoch == regency_ && d.sent_write.count(epoch) == 0) {
+    send_write_for(cid, epoch, hash);
+  }
+}
+
+void Replica::send_write_for(ConsensusId cid, Epoch epoch, const ValueHash& hash) {
+  InstanceDriver& d = driver(cid);
+  d.sent_write.insert(epoch);
+  Bytes signature;
+  if (params_.sign_writes) {
+    signature =
+        signing_key_.sign(consensus::write_attestation_digest(cid, epoch, hash))
+            .to_bytes();
+  }
+  broadcast(encode_write(WriteMsg{cid, epoch, hash, signature}));
+  if (d.instance.on_write(epoch, config_.index_of(self_), hash,
+                          std::move(signature))) {
+    on_write_quorum(cid, epoch);
+  }
+}
+
+void Replica::handle_write(ProcessId from, const WriteMsg& msg) {
+  if (!is_active_member() || !config_.contains(from)) return;
+  if (!admit_consensus_cid(msg.cid)) return;
+  if (params_.sign_writes) {
+    const auto sig = crypto::Signature::from_bytes(msg.signature);
+    if (!sig.ok() ||
+        !process_public_key(from).verify(
+            consensus::write_attestation_digest(msg.cid, msg.epoch, msg.hash),
+            sig.value())) {
+      BFT_LOG(warn) << "replica " << self_ << ": bad WRITE signature from " << from;
+      return;
+    }
+  }
+  InstanceDriver& d = driver(msg.cid);
+  if (d.instance.on_write(msg.epoch, config_.index_of(from), msg.hash,
+                          msg.signature)) {
+    on_write_quorum(msg.cid, msg.epoch);
+  }
+}
+
+void Replica::on_write_quorum(ConsensusId cid, Epoch epoch) {
+  InstanceDriver& d = driver(cid);
+  if (epoch != regency_) return;  // certificate recorded; no action in old epochs
+
+  if (params_.tentative_execution && order_frontier_ < cid) {
+    order_frontier_ = cid;  // WHEAT: pipeline the next proposal immediately
+  }
+  if (sync_in_progress_ && cid == sync_cid_) sync_in_progress_ = false;
+
+  const auto hash = d.instance.write_quorum_hash(epoch);
+  if (d.sent_accept.count(epoch) == 0) {
+    d.sent_accept.insert(epoch);
+    broadcast(encode_accept(AcceptMsg{cid, epoch, *hash}));
+    if (d.instance.on_accept(epoch, config_.index_of(self_), *hash)) {
+      on_decided(cid);
+    }
+  }
+  if (params_.tentative_execution && !d.instance.decided()) {
+    const Bytes* value = d.instance.value_for(*hash);
+    if (value != nullptr) {
+      pending_tentative_[cid] = {*hash, *value};
+      try_apply();
+    } else {
+      request_value(cid, *hash);
+    }
+  }
+  maybe_propose();
+}
+
+void Replica::handle_accept(ProcessId from, const AcceptMsg& msg) {
+  if (!is_active_member() || !config_.contains(from)) return;
+  if (!admit_consensus_cid(msg.cid)) return;
+  InstanceDriver& d = driver(msg.cid);
+  if (d.instance.on_accept(msg.epoch, config_.index_of(from), msg.hash)) {
+    on_decided(msg.cid);
+  }
+}
+
+void Replica::on_decided(ConsensusId cid) {
+  InstanceDriver& d = driver(cid);
+  ++decided_count_;
+  timeout_backoff_ = 0;
+  const ValueHash& hash = d.instance.decided_hash();
+  const Bytes* value = d.instance.value_for(hash);
+  if (value != nullptr) {
+    decided_values_[cid] = *value;
+  } else {
+    decided_awaiting_value_[cid] = hash;
+    request_value(cid, hash);
+  }
+  if (cid == sync_cid_ && sync_timer_ != 0) {
+    env().cancel_timer(sync_timer_);
+    sync_timer_ = 0;
+  }
+  if (!params_.tentative_execution && order_frontier_ < cid) {
+    order_frontier_ = cid;
+  }
+  try_apply();
+  maybe_propose();
+}
+
+void Replica::broadcast(const Bytes& payload) {
+  for (ProcessId member : config_.members()) {
+    if (member != self_) env().send(member, payload);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Missing-value recovery
+// --------------------------------------------------------------------------
+
+void Replica::request_value(ConsensusId cid, const ValueHash& hash) {
+  InstanceDriver& d = driver(cid);
+  if (d.value_requested) return;
+  d.value_requested = true;
+  broadcast(encode_value_request(ValueRequest{cid, hash}));
+}
+
+void Replica::handle_value_request(ProcessId from, const ValueRequest& msg) {
+  const auto inst_it = instances_.find(msg.cid);
+  if (inst_it != instances_.end()) {
+    const Bytes* value = inst_it->second.instance.value_for(msg.hash);
+    if (value != nullptr) {
+      env().send(from, encode_value_reply(ValueReply{msg.cid, *value}));
+      return;
+    }
+  }
+  const auto dec_it = decided_values_.find(msg.cid);
+  if (dec_it != decided_values_.end() &&
+      consensus::value_hash(dec_it->second) == msg.hash) {
+    env().send(from, encode_value_reply(ValueReply{msg.cid, dec_it->second}));
+  }
+}
+
+void Replica::handle_value_reply(ProcessId from, const ValueReply& msg) {
+  if (!config_.contains(from)) return;
+  InstanceDriver& d = driver(msg.cid);
+  const ValueHash hash = d.instance.add_value(msg.value);
+
+  const auto awaiting = decided_awaiting_value_.find(msg.cid);
+  if (awaiting != decided_awaiting_value_.end() && awaiting->second == hash) {
+    decided_values_[msg.cid] = msg.value;
+    decided_awaiting_value_.erase(awaiting);
+  }
+  if (params_.tentative_execution) {
+    const auto wq = d.instance.write_quorum_hash(regency_);
+    if (wq.has_value() && *wq == hash && !d.instance.decided()) {
+      pending_tentative_[msg.cid] = {hash, msg.value};
+    }
+  }
+  try_apply();
+  maybe_send_sync();  // a sync proposal may have been waiting on this value
+}
+
+// --------------------------------------------------------------------------
+// Execution pipeline
+// --------------------------------------------------------------------------
+
+void Replica::try_apply() {
+  bool progressed = false;
+
+  // Confirmed decisions, in consensus order.
+  for (;;) {
+    const ConsensusId cid = confirm_cursor_ + 1;
+    const auto it = decided_values_.find(cid);
+    if (it == decided_values_.end()) break;
+    const ValueHash decided_hash = consensus::value_hash(it->second);
+
+    if (tentative_cursor_ >= cid) {
+      const auto applied = tentative_hashes_.find(cid);
+      if (applied != tentative_hashes_.end() && applied->second == decided_hash) {
+        // Tentative execution confirmed in place.
+        tentative_hashes_.erase(applied);
+        confirm_cursor_ = cid;
+        try {
+          const Batch batch = Batch::decode(it->second);
+          for (const Request& r : batch.requests) pending_.erase({r.client, r.seq});
+        } catch (const DecodeError&) {
+        }
+        if (tentative_hashes_.empty()) rollback_snapshot_.reset();
+        pending_tentative_.erase(cid);
+        progressed = true;
+        maybe_checkpoint();
+        continue;
+      }
+      // The decision contradicts what we executed tentatively: roll back to
+      // the confirmed prefix and fall through to a clean re-execution.
+      rollback_and_replay();
+    }
+
+    execute_batch(cid, it->second, false);
+    confirm_cursor_ = cid;
+    tentative_cursor_ = std::max(tentative_cursor_, cid);
+    pending_tentative_.erase(cid);
+    progressed = true;
+    maybe_checkpoint();
+  }
+
+  // Tentative (WHEAT) executions beyond the confirmed prefix.
+  if (params_.tentative_execution) {
+    for (;;) {
+      const ConsensusId cid = tentative_cursor_ + 1;
+      const auto it = pending_tentative_.find(cid);
+      if (it == pending_tentative_.end()) break;
+      if (!rollback_snapshot_.has_value()) {
+        rollback_snapshot_ = make_core_snapshot();
+      }
+      execute_batch(cid, it->second.second, true);
+      tentative_hashes_[cid] = it->second.first;
+      tentative_cursor_ = cid;
+      progressed = true;
+    }
+  }
+
+  if (progressed) {
+    disarm_request_timer();
+    arm_request_timer();
+    if (sync_in_progress_ && confirm_cursor_ + 1 > sync_cid_) {
+      // Decisions caught up past the slot being synchronized: refresh our
+      // STOPDATA so the new leader synchronizes the right slot.
+      sync_cid_ = confirm_cursor_ + 1;
+      send_stopdata();
+    }
+  }
+}
+
+void Replica::execute_batch(ConsensusId cid, ByteView value, bool tentative) {
+  Batch batch;
+  try {
+    batch = Batch::decode(value);
+  } catch (const DecodeError&) {
+    BFT_LOG(error) << "replica " << self_ << ": decided value is malformed";
+    return;
+  }
+  ExecutionContext ctx;
+  ctx.cid = cid;
+  ctx.batch_size = batch.requests.size();
+  ctx.tentative = tentative;
+  for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+    const Request& request = batch.requests[i];
+    ctx.index_in_batch = i;
+    auto& last_seq = last_executed_seq_[request.client];
+    if (request.seq <= last_seq) continue;  // duplicate (ordered twice or replayed)
+    last_seq = request.seq;
+
+    Bytes reply;
+    if (request.kind == RequestKind::reconfig) {
+      apply_reconfig(request);
+      reply = to_bytes("reconfigured");
+    } else {
+      reply = app_->execute(request, ctx);
+    }
+    ++executed_count_;
+    auto& cache = reply_cache_[request.client];
+    cache[request.seq] = Reply{request.seq, cid, reply};
+    while (cache.size() > kReplyCacheWindow) cache.erase(cache.begin());
+    if (!replaying_) {
+      if (replier_ != nullptr) {
+        replier_->on_executed(*this, request, reply, ctx);
+      } else {
+        env().send(request.client, encode_reply(cache[request.seq]));
+      }
+    }
+    if (!tentative) pending_.erase({request.client, request.seq});
+  }
+}
+
+void Replica::apply_reconfig(const Request& request) {
+  try {
+    const auto [op, node] = decode_reconfig(request.payload);
+    if (op == ReconfigOp::add && !config_.contains(node)) {
+      config_ = config_.with_member_added(node);
+    } else if (op == ReconfigOp::remove && config_.contains(node) &&
+               config_.n() > 1) {
+      config_ = config_.with_member_removed(node);
+    }
+    BFT_LOG(info) << "replica " << self_ << ": membership now n=" << config_.n();
+  } catch (const DecodeError&) {
+    BFT_LOG(warn) << "replica " << self_ << ": malformed reconfig request";
+  } catch (const std::invalid_argument&) {
+    BFT_LOG(warn) << "replica " << self_ << ": inapplicable reconfig request";
+  }
+}
+
+void Replica::rollback_and_replay() {
+  if (!rollback_snapshot_.has_value()) return;
+  restore_core_snapshot(*rollback_snapshot_);
+  rollback_snapshot_.reset();
+  tentative_hashes_.clear();
+  // Re-apply confirmed decisions past the snapshot point (the snapshot was
+  // taken at some earlier confirm cursor).
+  const ConsensusId target = confirm_cursor_;
+  // restore_core_snapshot reset confirm_cursor_ to the snapshot's cursor.
+  ConsensusId cursor = confirm_cursor_;
+  replaying_ = true;
+  while (cursor < target) {
+    const auto it = decided_values_.find(cursor + 1);
+    if (it == decided_values_.end()) break;
+    execute_batch(cursor + 1, it->second, false);
+    ++cursor;
+  }
+  replaying_ = false;
+  confirm_cursor_ = cursor;
+  tentative_cursor_ = cursor;
+}
+
+void Replica::maybe_checkpoint() {
+  if (confirm_cursor_ == 0 || confirm_cursor_ % params_.checkpoint_period != 0) {
+    return;
+  }
+  if (!tentative_hashes_.empty()) return;  // only checkpoint confirmed state
+  snapshot_cid_ = confirm_cursor_;
+  checkpoint_snapshot_ = make_core_snapshot();
+  decided_values_.erase(decided_values_.begin(),
+                        decided_values_.upper_bound(snapshot_cid_));
+  instances_.erase(instances_.begin(), instances_.upper_bound(snapshot_cid_));
+}
+
+Bytes Replica::make_core_snapshot() const {
+  Writer w;
+  w.bytes(app_->snapshot());
+  w.bytes(config_.encode());
+  w.u64(confirm_cursor_);
+  w.u32(static_cast<std::uint32_t>(last_executed_seq_.size()));
+  for (const auto& [client, seq] : last_executed_seq_) {
+    w.u32(client);
+    w.u64(seq);
+  }
+  std::size_t reply_entries = 0;
+  for (const auto& [client, cache] : reply_cache_) {
+    (void)client;
+    reply_entries += cache.size();
+  }
+  w.u32(static_cast<std::uint32_t>(reply_entries));
+  for (const auto& [client, cache] : reply_cache_) {
+    for (const auto& [seq, reply] : cache) {
+      (void)seq;
+      w.u32(client);
+      w.u64(reply.client_seq);
+      w.u64(reply.cid);
+      w.bytes(reply.payload);
+    }
+  }
+  return std::move(w).take();
+}
+
+void Replica::restore_core_snapshot(ByteView snapshot) {
+  Reader r(snapshot);
+  const Bytes app_state = r.bytes();
+  config_ = ClusterConfig::decode(r.bytes());
+  confirm_cursor_ = r.u64();
+  tentative_cursor_ = confirm_cursor_;
+  last_executed_seq_.clear();
+  const std::uint32_t seqs = r.u32();
+  for (std::uint32_t i = 0; i < seqs; ++i) {
+    const std::uint32_t client = r.u32();
+    last_executed_seq_[client] = r.u64();
+  }
+  reply_cache_.clear();
+  const std::uint32_t replies = r.u32();
+  for (std::uint32_t i = 0; i < replies; ++i) {
+    const std::uint32_t client = r.u32();
+    Reply reply;
+    reply.client_seq = r.u64();
+    reply.cid = r.u64();
+    reply.payload = r.bytes();
+    reply_cache_[client][reply.client_seq] = std::move(reply);
+  }
+  r.expect_done();
+  app_->restore(app_state);
+}
+
+// --------------------------------------------------------------------------
+// Synchronization phase (STOP / STOPDATA / SYNC)
+// --------------------------------------------------------------------------
+
+void Replica::start_regency_change(Epoch next) {
+  if (next <= regency_ || sent_stop_.count(next) > 0) return;
+  sent_stop_.insert(next);
+  stop_votes_[next].insert(self_);
+  broadcast(encode_stop(Stop{next, confirm_cursor_}));
+  BFT_LOG(info) << "replica " << self_ << ": STOP for regency " << next;
+  // Check whether our own vote completes the quorum (tiny clusters).
+  handle_stop(self_, Stop{next, confirm_cursor_});
+}
+
+void Replica::handle_stop(ProcessId from, const Stop& msg) {
+  if (!is_active_member()) return;
+  if (from != self_ && !config_.contains(from)) return;
+  // Catch-up hint: a peer that decided more than we did means we missed
+  // decisions; arm the stall detector even if this STOP itself is stale.
+  if (from != self_ && msg.last_decided > confirm_cursor_) {
+    note_future_traffic(msg.last_decided);
+  }
+  if (msg.next_epoch <= regency_) return;
+  auto& votes = stop_votes_[msg.next_epoch];
+  votes.insert(from);
+
+  std::set<ReplicaId> indices;
+  for (ProcessId p : votes) {
+    if (config_.contains(p)) indices.insert(config_.index_of(p));
+  }
+  const auto& q = config_.quorums();
+  if (q.is_evidence(indices) && sent_stop_.count(msg.next_epoch) == 0) {
+    // f+1-equivalent evidence: join the regency change.
+    sent_stop_.insert(msg.next_epoch);
+    votes.insert(self_);
+    indices.insert(config_.index_of(self_));
+    broadcast(encode_stop(Stop{msg.next_epoch, confirm_cursor_}));
+  }
+  if (q.is_quorum(indices)) {
+    install_regency(msg.next_epoch);
+  }
+}
+
+void Replica::install_regency(Epoch next) {
+  regency_ = next;
+  sync_in_progress_ = true;
+  sync_cid_ = confirm_cursor_ + 1;
+  sync_stopdata_blobs_.clear();
+  stop_votes_.erase(stop_votes_.begin(), stop_votes_.upper_bound(next));
+  for (auto& [cid, d] : instances_) {
+    if (!d.instance.decided() && cid > confirm_cursor_) d.proposed_by_me = false;
+  }
+  for (auto& [key, entry] : pending_) {
+    (void)key;
+    entry.inflight = false;
+  }
+  disarm_request_timer();
+  forwarded_phase_ = false;
+  if (sync_timer_ != 0) env().cancel_timer(sync_timer_);
+  sync_timer_ = env().set_timer(params_.sync_deadline
+                                << std::min<std::uint32_t>(timeout_backoff_, 6));
+  BFT_LOG(info) << "replica " << self_ << ": installed regency " << next
+                << " (leader " << config_.leader(next) << ")";
+  send_stopdata();
+}
+
+void Replica::send_stopdata() {
+  StopData sd;
+  sd.next_epoch = regency_;
+  sd.from = self_;
+  sd.last_decided = confirm_cursor_;
+  sd.cid = sync_cid_;
+  const auto inst_it = instances_.find(sync_cid_);
+  if (inst_it != instances_.end()) {
+    // Highest-epoch write certificate we gathered for the slot in question.
+    for (Epoch e = inst_it->second.instance.highest_epoch();; --e) {
+      auto cert = inst_it->second.instance.write_certificate(e);
+      if (cert.has_value()) {
+        const Bytes* value = inst_it->second.instance.value_for(cert->hash);
+        if (value != nullptr) sd.value = *value;
+        sd.cert = std::move(cert);
+        break;
+      }
+      if (e == 0) break;
+    }
+  }
+  sd.signature = signing_key_.sign(stopdata_digest(sd)).to_bytes();
+
+  const ProcessId leader = config_.leader(regency_);
+  const Bytes encoded = encode_stopdata(sd);
+  if (leader == self_) {
+    handle_stopdata(self_, sd);
+  } else {
+    env().send(leader, encoded);
+  }
+}
+
+bool Replica::validate_stopdata(const StopData& sd, Epoch expected_epoch,
+                                ConsensusId expected_cid) const {
+  if (sd.next_epoch != expected_epoch || sd.cid != expected_cid) return false;
+  if (!config_.contains(sd.from)) return false;
+  StopData unsigned_copy = sd;
+  unsigned_copy.signature.clear();
+  const auto sig = crypto::Signature::from_bytes(sd.signature);
+  if (!sig.ok() ||
+      !process_public_key(sd.from).verify(stopdata_digest(unsigned_copy),
+                                          sig.value())) {
+    return false;
+  }
+  if (sd.cert.has_value()) {
+    const auto& cert = *sd.cert;
+    if (cert.cid != sd.cid) return false;
+    std::set<ReplicaId> voters;
+    for (const auto& vote : cert.votes) {
+      if (vote.from >= config_.n() || voters.count(vote.from) > 0) return false;
+      if (params_.sign_writes) {
+        const auto vote_sig = crypto::Signature::from_bytes(vote.signature);
+        if (!vote_sig.ok() ||
+            !process_public_key(config_.member_at(vote.from))
+                 .verify(consensus::write_attestation_digest(cert.cid, cert.epoch,
+                                                             cert.hash),
+                         vote_sig.value())) {
+          return false;
+        }
+      }
+      voters.insert(vote.from);
+    }
+    if (!config_.quorums().is_quorum(voters)) return false;
+    if (!sd.value.empty() && consensus::value_hash(sd.value) != cert.hash) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Replica::handle_stopdata(ProcessId from, const StopData& msg) {
+  if (!is_active_member() || config_.leader(regency_) != self_) return;
+  if (!sync_in_progress_) return;
+  // A sender behind or ahead of us reports a different slot; keep the blob
+  // anyway (the SYNC assembly filters by slot) as long as it is authentic
+  // for the current regency.
+  if (!validate_stopdata(msg, regency_, msg.cid)) {
+    if (msg.next_epoch == regency_) {
+      BFT_LOG(warn) << "replica " << self_ << ": invalid STOPDATA from " << from;
+    }
+    return;
+  }
+  sync_stopdata_blobs_[msg.from] = encode_stopdata(msg);
+  if (msg.last_decided > confirm_cursor_) {
+    // We are the sync leader but lag behind this sender: catch up first so a
+    // quorum of STOPDATAs can reference the same slot.
+    note_future_traffic(msg.last_decided);
+  }
+  maybe_send_sync();
+}
+
+void Replica::maybe_send_sync() {
+  if (!sync_in_progress_ || config_.leader(regency_) != self_) return;
+  // Only blobs that talk about the slot we are synchronizing count.
+  std::vector<std::pair<Bytes, StopData>> matching;
+  std::set<ReplicaId> senders;
+  for (const auto& [p, blob] : sync_stopdata_blobs_) {
+    const StopData sd = decode_stopdata(blob);
+    if (sd.cid != sync_cid_) continue;
+    if (config_.contains(p)) {
+      senders.insert(config_.index_of(p));
+      matching.emplace_back(blob, sd);
+    }
+  }
+  if (!config_.quorums().is_quorum(senders)) return;
+
+  // Select the highest-epoch certified value among the STOPDATAs.
+  std::optional<WriteCertificate> chosen;
+  for (const auto& [blob, sd] : matching) {
+    (void)blob;
+    if (sd.cert.has_value() &&
+        (!chosen.has_value() || sd.cert->epoch > chosen->epoch)) {
+      chosen = sd.cert;
+    }
+  }
+
+  Bytes proposed;
+  if (chosen.has_value()) {
+    // Find the certified value: in a STOPDATA, our own instance, or fetch it.
+    for (const auto& [blob, sd] : matching) {
+      (void)blob;
+      if (!sd.value.empty() && consensus::value_hash(sd.value) == chosen->hash) {
+        proposed = sd.value;
+        break;
+      }
+    }
+    if (proposed.empty()) {
+      const auto inst_it = instances_.find(sync_cid_);
+      if (inst_it != instances_.end()) {
+        const Bytes* v = inst_it->second.instance.value_for(chosen->hash);
+        if (v != nullptr) proposed = *v;
+      }
+    }
+    if (proposed.empty()) {
+      request_value(sync_cid_, chosen->hash);
+      return;  // retried from handle_value_reply
+    }
+  } else {
+    // Nothing certified: propose a fresh batch from our pending pool (may be
+    // empty — the slot must still complete to unblock the pipeline).
+    Batch batch;
+    for (const RequestKey& key : pending_order_) {
+      const auto it = pending_.find(key);
+      if (it == pending_.end()) continue;
+      batch.requests.push_back(it->second.request);
+      if (batch.requests.size() >= params_.batch_max) break;
+    }
+    proposed = batch.encode();
+  }
+
+  Sync sync;
+  sync.new_epoch = regency_;
+  sync.cid = sync_cid_;
+  for (const auto& [blob, sd] : matching) {
+    (void)sd;
+    sync.stopdata_blobs.push_back(blob);
+  }
+  sync.proposed_value = proposed;
+  broadcast(encode_sync(sync));
+  handle_sync(self_, sync);
+}
+
+void Replica::handle_sync(ProcessId from, const Sync& msg) {
+  if (!is_active_member()) return;
+  if (msg.new_epoch < regency_) return;
+  if (config_.leader(msg.new_epoch) != from) return;
+  if (msg.cid <= confirm_cursor_) return;  // already settled
+
+  // Validate the STOPDATA set: distinct members, valid signatures and
+  // certificates, quorum weight.
+  std::set<ReplicaId> senders;
+  std::optional<WriteCertificate> chosen;
+  for (const Bytes& blob : msg.stopdata_blobs) {
+    StopData sd;
+    try {
+      sd = decode_stopdata(blob);
+    } catch (const DecodeError&) {
+      return;
+    }
+    if (!validate_stopdata(sd, msg.new_epoch, msg.cid)) return;
+    const ReplicaId idx = config_.index_of(sd.from);
+    if (senders.count(idx) > 0) return;
+    senders.insert(idx);
+    if (sd.cert.has_value() &&
+        (!chosen.has_value() || sd.cert->epoch > chosen->epoch)) {
+      chosen = sd.cert;
+    }
+  }
+  if (!config_.quorums().is_quorum(senders)) return;
+  if (chosen.has_value() &&
+      consensus::value_hash(msg.proposed_value) != chosen->hash) {
+    return;  // leader ignored a certified value: reject
+  }
+
+  if (msg.new_epoch > regency_) regency_ = msg.new_epoch;
+  sync_cid_ = msg.cid;
+  sync_in_progress_ = true;  // cleared at the slot's WRITE quorum
+  accept_proposal(msg.cid, msg.new_epoch, from, msg.proposed_value);
+}
+
+// --------------------------------------------------------------------------
+// State transfer (§5.2)
+// --------------------------------------------------------------------------
+
+void Replica::note_future_traffic(ConsensusId cid) {
+  // Any traffic for an undecided slot arms the stall detector (once): if the
+  // confirm cursor has not moved by expiry, this replica missed decisions it
+  // can only recover via state transfer.
+  if (cid <= confirm_cursor_ || transferring_ || stall_timer_ != 0) return;
+  stall_anchor_cid_ = confirm_cursor_;
+  stall_timer_ = env().set_timer(params_.stall_timeout);
+}
+
+void Replica::begin_state_transfer() {
+  if (transferring_) return;
+  transferring_ = true;
+  transfer_replies_.clear();
+  for (ProcessId member : config_.members()) {
+    if (member != self_) {
+      env().send(member, encode_state_request(StateRequest{confirm_cursor_}));
+    }
+  }
+  if (transfer_timer_ != 0) env().cancel_timer(transfer_timer_);
+  transfer_timer_ = env().set_timer(params_.state_transfer_retry);
+}
+
+void Replica::handle_state_request(ProcessId from, const StateRequest& msg) {
+  (void)msg;
+  if (!is_active_member()) return;
+  StateReply reply;
+  reply.snapshot_cid = snapshot_cid_;
+  reply.snapshot = checkpoint_snapshot_;
+  for (const auto& [cid, value] : decided_values_) {
+    if (cid > snapshot_cid_ && cid <= confirm_cursor_) {
+      reply.log.push_back(LogEntry{cid, value});
+    }
+  }
+  reply.epoch = regency_;
+  env().send(from, encode_state_reply(reply));
+}
+
+void Replica::handle_state_reply(ProcessId from, const StateReply& msg,
+                                 ByteView raw) {
+  (void)raw;
+  if (!transferring_ || from == self_) return;
+  transfer_replies_[from] = msg;
+  try_assemble_state();
+}
+
+void Replica::try_assemble_state() {
+  const std::uint32_t needed = config_.quorums().count_f_plus_1();
+  if (transfer_replies_.size() < needed) return;
+
+  // Group replies by snapshot identity. A snapshot (and every log entry we
+  // adopt on top of it) must be vouched by f+1 distinct replicas, so at least
+  // one correct one.
+  std::map<std::string, std::vector<const StateReply*>> groups;
+  for (const auto& [sender, reply] : transfer_replies_) {
+    (void)sender;
+    Writer w;
+    w.u64(reply.snapshot_cid);
+    w.bytes(reply.snapshot);
+    groups[crypto::hash_hex(crypto::sha256(w.data()))].push_back(&reply);
+  }
+
+  // Best candidate: the (snapshot, agreed log prefix) with furthest coverage.
+  const StateReply* best_base = nullptr;
+  std::vector<LogEntry> best_log;
+  ConsensusId best_covered = confirm_cursor_;
+  Epoch best_epoch = 0;
+
+  for (const auto& [digest, replies] : groups) {
+    (void)digest;
+    if (replies.size() < needed) continue;
+    const StateReply* base = replies.front();
+    std::vector<LogEntry> agreed;
+    ConsensusId cid = base->snapshot_cid;
+    for (;;) {
+      const ConsensusId next = cid + 1;
+      // Tally values proposed for `next` across the group.
+      std::map<std::string, std::pair<std::uint32_t, const Bytes*>> votes;
+      for (const StateReply* r : replies) {
+        for (const LogEntry& e : r->log) {
+          if (e.cid == next) {
+            auto& slot = votes[crypto::hash_hex(crypto::sha256(e.value))];
+            ++slot.first;
+            slot.second = &e.value;
+            break;
+          }
+        }
+      }
+      const Bytes* winner = nullptr;
+      for (const auto& [vh, slot] : votes) {
+        (void)vh;
+        if (slot.first >= needed) {
+          winner = slot.second;
+          break;
+        }
+      }
+      if (winner == nullptr) break;
+      agreed.push_back(LogEntry{next, *winner});
+      cid = next;
+    }
+    if (cid > best_covered) {
+      best_base = base;
+      best_log = std::move(agreed);
+      best_covered = cid;
+      for (const StateReply* r : replies) best_epoch = std::max(best_epoch, r->epoch);
+    }
+  }
+
+  if (best_base != nullptr) {
+    adopt_state(best_base->snapshot_cid, best_base->snapshot, best_log, best_epoch);
+    return;
+  }
+
+  // Nothing advances us. If every member answered, the transfer was
+  // spurious; cancel it so proposing is not blocked forever.
+  if (transfer_replies_.size() + 1 >= config_.n() && is_active_member()) {
+    transferring_ = false;
+    transfer_replies_.clear();
+    if (transfer_timer_ != 0) {
+      env().cancel_timer(transfer_timer_);
+      transfer_timer_ = 0;
+    }
+    maybe_propose();
+  }
+}
+
+void Replica::adopt_state(ConsensusId snapshot_cid, const Bytes& snapshot,
+                          const std::vector<LogEntry>& log, Epoch epoch_hint) {
+  BFT_LOG(info) << "replica " << self_ << ": adopting state up to cid "
+                << (log.empty() ? snapshot_cid : log.back().cid);
+  restore_core_snapshot(snapshot);
+  snapshot_cid_ = snapshot_cid;
+  checkpoint_snapshot_ = snapshot;
+  rollback_snapshot_.reset();
+  tentative_hashes_.clear();
+  pending_tentative_.clear();
+  decided_awaiting_value_.clear();
+  const ConsensusId covered = log.empty() ? snapshot_cid : log.back().cid;
+  // Keep decisions newer than the transferred state that we learned live
+  // while the transfer was in flight; replace everything the reply covers.
+  decided_values_.erase(decided_values_.begin(),
+                        decided_values_.upper_bound(covered));
+  instances_.erase(instances_.begin(), instances_.upper_bound(snapshot_cid));
+
+  replaying_ = true;
+  for (const LogEntry& entry : log) {
+    if (entry.cid != confirm_cursor_ + 1) break;  // non-contiguous: stop
+    decided_values_[entry.cid] = entry.value;
+    execute_batch(entry.cid, entry.value, false);
+    confirm_cursor_ = entry.cid;
+    tentative_cursor_ = entry.cid;
+  }
+  replaying_ = false;
+
+  order_frontier_ = std::max(order_frontier_, confirm_cursor_);
+  try_apply();  // consume any surviving post-transfer decisions
+  regency_ = std::max(regency_, epoch_hint);
+  transferring_ = false;
+  transfer_replies_.clear();
+  if (transfer_timer_ != 0) {
+    env().cancel_timer(transfer_timer_);
+    transfer_timer_ = 0;
+  }
+  if (!is_active_member()) {
+    // Still a learner: keep polling until a reconfiguration admits us.
+    transfer_timer_ = env().set_timer(params_.state_transfer_retry);
+  } else if (sync_in_progress_) {
+    // Our view of the slot under synchronization moved: refresh the leader.
+    sync_cid_ = confirm_cursor_ + 1;
+    send_stopdata();
+  } else {
+    maybe_propose();
+  }
+}
+
+// --------------------------------------------------------------------------
+// Receivers and timers
+// --------------------------------------------------------------------------
+
+void Replica::push_to_receivers(ByteView payload) {
+  const Bytes encoded = encode_push(payload);
+  for (ProcessId receiver : receivers_) {
+    env().send(receiver, encoded);
+  }
+}
+
+void Replica::send_push(ProcessId to, ByteView payload) {
+  env().send(to, encode_push(payload));
+}
+
+void Replica::arm_request_timer() {
+  if (request_timer_ != 0 || pending_.empty() || !is_active_member()) return;
+  forwarded_phase_ = false;
+  request_timer_ = env().set_timer(params_.forward_timeout);
+}
+
+void Replica::disarm_request_timer() {
+  if (request_timer_ != 0) {
+    env().cancel_timer(request_timer_);
+    request_timer_ = 0;
+  }
+  forwarded_phase_ = false;
+}
+
+}  // namespace bft::smr

@@ -1,0 +1,233 @@
+// BFT-SMaRt service replica (Mod-SMaRt SMR on top of VP-Consensus instances).
+//
+// Implements, per the paper's §4-5:
+//   * request pooling with per-client dedup and leader batching (limit 400);
+//   * the PROPOSE/WRITE/ACCEPT normal case driven by consensus::Instance;
+//   * WHEAT's tentative execution (deliver on WRITE quorum, ACCEPT async,
+//     rollback via snapshot + replay on conflicting late decisions);
+//   * the synchronization phase (STOP / STOPDATA / SYNC) with signed,
+//     transferable write certificates for regency changes;
+//   * checkpointing every `checkpoint_period` decisions and state transfer
+//     for laggards and joining nodes (§5.2);
+//   * reconfiguration through core-executed membership-change requests;
+//   * the custom-replier hook the ordering service uses to push blocks to
+//     registered receivers instead of answering invoking clients.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "consensus/instance.hpp"
+#include "crypto/ecdsa.hpp"
+#include "runtime/actor.hpp"
+#include "smr/config.hpp"
+#include "smr/state_machine.hpp"
+#include "smr/wire.hpp"
+
+namespace bft::smr {
+
+/// Derives the (simulated PKI) signing key of a process from its id. Every
+/// node derives every other node's public key the same way; this stands in
+/// for certificate distribution, which the paper delegates to the HLF
+/// membership service.
+crypto::PrivateKey process_signing_key(runtime::ProcessId id);
+const crypto::PublicKey& process_public_key(runtime::ProcessId id);
+
+/// Membership-change payloads (RequestKind::reconfig).
+enum class ReconfigOp : std::uint8_t { add = 1, remove = 2 };
+Bytes encode_reconfig(ReconfigOp op, runtime::ProcessId node);
+std::pair<ReconfigOp, runtime::ProcessId> decode_reconfig(ByteView payload);
+
+class Replica : public runtime::Actor {
+ public:
+  /// `app` and `replier` are borrowed and must outlive the replica; a null
+  /// replier routes replies back to the requesting client.
+  Replica(runtime::ProcessId self, ClusterConfig config, ReplicaParams params,
+          StateMachine* app, Replier* replier = nullptr);
+
+  void on_start(runtime::Env& env) override;
+  void on_message(runtime::ProcessId from, ByteView payload) override;
+  void on_timer(std::uint64_t timer_id) override;
+
+  // --- introspection (tests, benches, application modules) ---
+  runtime::ProcessId self_id() const { return self_; }
+  const ClusterConfig& config() const { return config_; }
+  const ReplicaParams& params() const { return params_; }
+  consensus::Epoch regency() const { return regency_; }
+  bool is_leader() const;
+  /// True once this process is part of the active membership.
+  bool is_active_member() const { return config_.contains(self_); }
+  ConsensusId last_confirmed() const { return confirm_cursor_; }
+  ConsensusId last_applied() const { return tentative_cursor_; }
+  std::uint64_t executed_request_count() const { return executed_count_; }
+  std::uint64_t decided_batch_count() const { return decided_count_; }
+  bool state_transfer_in_progress() const { return transferring_; }
+  const std::set<runtime::ProcessId>& receivers() const { return receivers_; }
+
+  // --- services for the application / custom replier ---
+  /// Sends an application payload to every registered receiver (§5.1's
+  /// "custom replier" dissemination path).
+  void push_to_receivers(ByteView payload);
+  /// Sends an application payload to one process.
+  void send_push(runtime::ProcessId to, ByteView payload);
+  runtime::Env& runtime_env() { return env(); }
+  const CostModel& costs() const { return params_.costs; }
+  /// True while re-executing history (state transfer): the application
+  /// should suppress external effects such as block pushes.
+  bool replaying_history() const { return replaying_; }
+  /// Arms a timer delivered to the application's on_app_timer (local,
+  /// non-replicated machinery such as batch timeouts).
+  std::uint64_t set_app_timer(runtime::Duration delay);
+
+ private:
+  struct PendingRequest {
+    Request request;
+    bool inflight = false;  // included in an undecided proposal of ours
+  };
+  using RequestKey = std::pair<std::uint32_t, std::uint64_t>;  // client, seq
+
+  struct InstanceDriver {
+    explicit InstanceDriver(consensus::ConsensusId cid,
+                            const consensus::QuorumSystem* q)
+        : instance(cid, q) {}
+    consensus::Instance instance;
+    std::set<consensus::Epoch> sent_write;
+    std::set<consensus::Epoch> sent_accept;
+    bool proposed_by_me = false;
+    bool value_requested = false;
+  };
+
+  // -- message handlers --
+  void handle_request(runtime::ProcessId from, const Request& request,
+                      bool forwarded);
+  void handle_propose(runtime::ProcessId from, const Propose& msg);
+  void handle_write(runtime::ProcessId from, const WriteMsg& msg);
+  void handle_accept(runtime::ProcessId from, const AcceptMsg& msg);
+  void handle_stop(runtime::ProcessId from, const Stop& msg);
+  void handle_stopdata(runtime::ProcessId from, const StopData& msg);
+  void handle_sync(runtime::ProcessId from, const Sync& msg);
+  void handle_state_request(runtime::ProcessId from, const StateRequest& msg);
+  void handle_state_reply(runtime::ProcessId from, const StateReply& msg,
+                          ByteView raw);
+  void handle_value_request(runtime::ProcessId from, const ValueRequest& msg);
+  void handle_value_reply(runtime::ProcessId from, const ValueReply& msg);
+
+  // -- consensus driving --
+  InstanceDriver& driver(ConsensusId cid);
+  void accept_proposal(ConsensusId cid, consensus::Epoch epoch,
+                       runtime::ProcessId from, Bytes value);
+  void send_write_for(ConsensusId cid, consensus::Epoch epoch,
+                      const ValueHash& hash);
+  void on_write_quorum(ConsensusId cid, consensus::Epoch epoch);
+  void on_decided(ConsensusId cid);
+  void maybe_propose();
+  void broadcast(const Bytes& payload);
+  void request_value(ConsensusId cid, const ValueHash& hash);
+
+  // -- execution pipeline --
+  void try_apply();
+  void execute_batch(ConsensusId cid, ByteView value, bool tentative);
+  void apply_reconfig(const Request& request);
+  void rollback_and_replay();
+  void maybe_checkpoint();
+  Bytes make_core_snapshot() const;
+  void restore_core_snapshot(ByteView snapshot);
+
+  // -- synchronization phase --
+  void start_regency_change(consensus::Epoch next);
+  void install_regency(consensus::Epoch next);
+  void send_stopdata();
+  bool validate_stopdata(const StopData& sd, consensus::Epoch expected_epoch,
+                         ConsensusId expected_cid) const;
+  void maybe_send_sync();
+
+  // -- state transfer --
+  bool admit_consensus_cid(ConsensusId cid);
+  void note_future_traffic(ConsensusId cid);
+  void begin_state_transfer();
+  /// Assembles the longest decided prefix vouched by f+1 replies; adopts it
+  /// if it advances us. Cancels a spurious transfer when f+1 peers report
+  /// nothing newer.
+  void try_assemble_state();
+  void adopt_state(ConsensusId snapshot_cid, const Bytes& snapshot,
+                   const std::vector<LogEntry>& log,
+                   consensus::Epoch epoch_hint);
+
+  // -- timers / misc --
+  void arm_request_timer();
+  void disarm_request_timer();
+  void charge(runtime::Duration cost) { env().charge_cpu(cost); }
+
+  runtime::ProcessId self_;
+  ClusterConfig config_;
+  ReplicaParams params_;
+  StateMachine* app_;
+  Replier* replier_;
+  crypto::PrivateKey signing_key_;
+
+  consensus::Epoch regency_ = 0;
+
+  // Request pool: map for dedup plus FIFO arrival order.
+  std::map<RequestKey, PendingRequest> pending_;
+  std::deque<RequestKey> pending_order_;
+
+  std::map<ConsensusId, InstanceDriver> instances_;
+  ConsensusId order_frontier_ = 0;  // highest cid allowed to seed the next proposal
+
+  // Decided values (encoded batches) from snapshot_cid_+1 upward.
+  std::map<ConsensusId, Bytes> decided_values_;
+  std::map<ConsensusId, std::pair<ValueHash, Bytes>> pending_tentative_;
+  std::map<ConsensusId, ValueHash> decided_awaiting_value_;
+
+  ConsensusId confirm_cursor_ = 0;    // decisions <= are confirmed & applied
+  ConsensusId tentative_cursor_ = 0;  // decisions <= are applied (maybe tentatively)
+  std::map<ConsensusId, ValueHash> tentative_hashes_;
+  std::optional<Bytes> rollback_snapshot_;
+
+  std::map<std::uint32_t, std::uint64_t> last_executed_seq_;  // per client
+  // Recent replies per client (bounded window) so retrying clients with
+  // several requests in flight can all be settled from cache.
+  static constexpr std::size_t kReplyCacheWindow = 64;
+  std::map<std::uint32_t, std::map<std::uint64_t, Reply>> reply_cache_;
+  std::uint64_t executed_count_ = 0;
+  std::uint64_t decided_count_ = 0;
+  bool replaying_ = false;
+
+  // Checkpoint.
+  ConsensusId snapshot_cid_ = 0;
+  Bytes checkpoint_snapshot_;
+
+  // Synchronization phase.
+  std::map<consensus::Epoch, std::set<runtime::ProcessId>> stop_votes_;
+  std::set<consensus::Epoch> sent_stop_;
+  bool sync_in_progress_ = false;
+  ConsensusId sync_cid_ = 0;
+  std::map<runtime::ProcessId, Bytes> sync_stopdata_blobs_;  // leader side
+  std::uint64_t sync_timer_ = 0;
+  std::uint32_t timeout_backoff_ = 0;
+
+  // Request-liveness timer.
+  std::uint64_t request_timer_ = 0;
+  bool forwarded_phase_ = false;
+
+  // Stall detector: traffic for future slots while the next slot stays
+  // undecided (lost ACCEPTs) eventually forces a state transfer.
+  std::uint64_t stall_timer_ = 0;
+  ConsensusId stall_anchor_cid_ = 0;
+
+  // State transfer.
+  bool transferring_ = false;
+  std::uint64_t transfer_timer_ = 0;
+  std::map<runtime::ProcessId, StateReply> transfer_replies_;
+
+  // Custom-replier audience.
+  std::set<runtime::ProcessId> receivers_;
+
+  // Timers owned by the application (see set_app_timer).
+  std::set<std::uint64_t> app_timers_;
+};
+
+}  // namespace bft::smr

@@ -1,0 +1,60 @@
+// Application interface replicated by the SMR layer.
+//
+// The BFT-SMaRt ordering service (src/ordering) implements this; tests use
+// small counter/KV machines. Contract:
+//   * execute is deterministic — identical request sequences from identical
+//     snapshots must yield identical replies and state;
+//   * snapshot/restore round-trip the full application state (the paper's
+//     ordering service keeps only the next block sequence number and the
+//     previous header hash, which is what makes checkpoints cheap, §5.2);
+//   * execute may be called again after restore for the same requests
+//     (tentative-execution rollback, state transfer) — it must not have
+//     external side effects it cannot repeat.
+#pragma once
+
+#include "smr/wire.hpp"
+
+namespace bft::smr {
+
+/// Execution metadata handed to the application with each request.
+struct ExecutionContext {
+  ConsensusId cid = 0;
+  std::size_t index_in_batch = 0;
+  std::size_t batch_size = 0;
+  /// True when delivered speculatively after the WRITE quorum (WHEAT); such
+  /// an execution may later be rolled back via restore().
+  bool tentative = false;
+};
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Executes one ordered request and returns the reply payload.
+  virtual Bytes execute(const Request& request, const ExecutionContext& ctx) = 0;
+
+  /// Serializes the full application state.
+  virtual Bytes snapshot() const = 0;
+
+  /// Replaces the application state with a previously captured snapshot.
+  virtual void restore(ByteView snapshot) = 0;
+
+  /// Fired for timers the application armed via Replica::set_app_timer.
+  /// Local (non-replicated) machinery only — batch timeouts and the like.
+  virtual void on_app_timer(std::uint64_t token) { (void)token; }
+};
+
+/// Reply routing. The default implementation (used when none is supplied)
+/// sends each reply to the requesting client; the ordering service installs a
+/// custom replier that pushes signed blocks to its registered receivers
+/// instead (§5.1).
+class Replica;
+class Replier {
+ public:
+  virtual ~Replier() = default;
+  /// Called after each request executes. `reply` may be empty.
+  virtual void on_executed(Replica& replica, const Request& request,
+                           const Bytes& reply, const ExecutionContext& ctx) = 0;
+};
+
+}  // namespace bft::smr

@@ -1,0 +1,424 @@
+#include "smr/wire.hpp"
+
+namespace bft::smr {
+
+namespace {
+
+void expect_kind(Reader& r, MsgKind kind) {
+  const auto got = static_cast<MsgKind>(r.u8());
+  if (got != kind) throw DecodeError("unexpected message kind");
+}
+
+void put_hash(Writer& w, const ValueHash& h) {
+  w.raw(ByteView(h.data(), h.size()));
+}
+
+ValueHash get_hash(Reader& r) {
+  return crypto::hash_from_bytes(r.raw(32));
+}
+
+void put_cert(Writer& w, const WriteCertificate& cert) {
+  w.u64(cert.cid);
+  w.u32(cert.epoch);
+  put_hash(w, cert.hash);
+  w.u32(static_cast<std::uint32_t>(cert.votes.size()));
+  for (const auto& vote : cert.votes) {
+    w.u32(vote.from);
+    w.bytes(vote.signature);
+  }
+}
+
+WriteCertificate get_cert(Reader& r) {
+  WriteCertificate cert;
+  cert.cid = r.u64();
+  cert.epoch = r.u32();
+  cert.hash = get_hash(r);
+  const std::uint32_t votes = r.u32();
+  cert.votes.reserve(r.safe_reserve(votes));
+  for (std::uint32_t i = 0; i < votes; ++i) {
+    consensus::WriteVote vote;
+    vote.from = r.u32();
+    vote.signature = r.bytes();
+    cert.votes.push_back(std::move(vote));
+  }
+  return cert;
+}
+
+}  // namespace
+
+MsgKind peek_kind(ByteView data) {
+  if (data.empty()) throw DecodeError("empty message");
+  return static_cast<MsgKind>(data[0]);
+}
+
+bool Request::operator==(const Request& other) const {
+  return client == other.client && seq == other.seq && kind == other.kind &&
+         payload == other.payload;
+}
+
+Bytes Batch::encode() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(requests.size()));
+  for (const Request& r : requests) {
+    w.u32(r.client);
+    w.u64(r.seq);
+    w.u8(static_cast<std::uint8_t>(r.kind));
+    w.bytes(r.payload);
+  }
+  return std::move(w).take();
+}
+
+Batch Batch::decode(ByteView data) {
+  Reader r(data);
+  Batch batch;
+  const std::uint32_t count = r.u32();
+  batch.requests.reserve(r.safe_reserve(count));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Request req;
+    req.client = r.u32();
+    req.seq = r.u64();
+    const std::uint8_t kind = r.u8();
+    if (kind > 1) throw DecodeError("bad request kind");
+    req.kind = static_cast<RequestKind>(kind);
+    req.payload = r.bytes();
+    batch.requests.push_back(std::move(req));
+  }
+  r.expect_done();
+  return batch;
+}
+
+namespace {
+
+Bytes encode_request_like(MsgKind kind, const Request& req) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(req.client);
+  w.u64(req.seq);
+  w.u8(static_cast<std::uint8_t>(req.kind));
+  w.bytes(req.payload);
+  return std::move(w).take();
+}
+
+Request decode_request_like(MsgKind kind, ByteView data) {
+  Reader r(data);
+  expect_kind(r, kind);
+  Request req;
+  req.client = r.u32();
+  req.seq = r.u64();
+  const std::uint8_t k = r.u8();
+  if (k > 1) throw DecodeError("bad request kind");
+  req.kind = static_cast<RequestKind>(k);
+  req.payload = r.bytes();
+  r.expect_done();
+  return req;
+}
+
+}  // namespace
+
+Bytes encode_request(const Request& req) {
+  return encode_request_like(MsgKind::request, req);
+}
+Request decode_request(ByteView data) {
+  return decode_request_like(MsgKind::request, data);
+}
+
+Bytes encode_forward(const Request& req) {
+  return encode_request_like(MsgKind::forward, req);
+}
+Request decode_forward(ByteView data) {
+  return decode_request_like(MsgKind::forward, data);
+}
+
+Bytes encode_reply(const Reply& reply) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgKind::reply));
+  w.u64(reply.client_seq);
+  w.u64(reply.cid);
+  w.bytes(reply.payload);
+  return std::move(w).take();
+}
+
+Reply decode_reply(ByteView data) {
+  Reader r(data);
+  expect_kind(r, MsgKind::reply);
+  Reply reply;
+  reply.client_seq = r.u64();
+  reply.cid = r.u64();
+  reply.payload = r.bytes();
+  r.expect_done();
+  return reply;
+}
+
+Bytes encode_propose(const Propose& p) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgKind::propose));
+  w.u64(p.cid);
+  w.u32(p.epoch);
+  w.bytes(p.value);
+  return std::move(w).take();
+}
+
+Propose decode_propose(ByteView data) {
+  Reader r(data);
+  expect_kind(r, MsgKind::propose);
+  Propose p;
+  p.cid = r.u64();
+  p.epoch = r.u32();
+  p.value = r.bytes();
+  r.expect_done();
+  return p;
+}
+
+Bytes encode_write(const WriteMsg& msg) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgKind::write));
+  w.u64(msg.cid);
+  w.u32(msg.epoch);
+  put_hash(w, msg.hash);
+  w.bytes(msg.signature);
+  return std::move(w).take();
+}
+
+WriteMsg decode_write(ByteView data) {
+  Reader r(data);
+  expect_kind(r, MsgKind::write);
+  WriteMsg msg;
+  msg.cid = r.u64();
+  msg.epoch = r.u32();
+  msg.hash = get_hash(r);
+  msg.signature = r.bytes();
+  r.expect_done();
+  return msg;
+}
+
+Bytes encode_accept(const AcceptMsg& msg) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgKind::accept));
+  w.u64(msg.cid);
+  w.u32(msg.epoch);
+  put_hash(w, msg.hash);
+  return std::move(w).take();
+}
+
+AcceptMsg decode_accept(ByteView data) {
+  Reader r(data);
+  expect_kind(r, MsgKind::accept);
+  AcceptMsg msg;
+  msg.cid = r.u64();
+  msg.epoch = r.u32();
+  msg.hash = get_hash(r);
+  r.expect_done();
+  return msg;
+}
+
+Bytes encode_stop(const Stop& s) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgKind::stop));
+  w.u32(s.next_epoch);
+  w.u64(s.last_decided);
+  return std::move(w).take();
+}
+
+Stop decode_stop(ByteView data) {
+  Reader r(data);
+  expect_kind(r, MsgKind::stop);
+  Stop s;
+  s.next_epoch = r.u32();
+  s.last_decided = r.u64();
+  r.expect_done();
+  return s;
+}
+
+namespace {
+
+void write_stopdata_body(Writer& w, const StopData& s) {
+  w.u32(s.next_epoch);
+  w.u32(s.from);
+  w.u64(s.last_decided);
+  w.u64(s.cid);
+  w.boolean(s.cert.has_value());
+  if (s.cert) put_cert(w, *s.cert);
+  w.bytes(s.value);
+}
+
+}  // namespace
+
+Bytes encode_stopdata(const StopData& s) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgKind::stopdata));
+  write_stopdata_body(w, s);
+  w.bytes(s.signature);
+  return std::move(w).take();
+}
+
+StopData decode_stopdata(ByteView data) {
+  Reader r(data);
+  expect_kind(r, MsgKind::stopdata);
+  StopData s;
+  s.next_epoch = r.u32();
+  s.from = r.u32();
+  s.last_decided = r.u64();
+  s.cid = r.u64();
+  if (r.boolean()) s.cert = get_cert(r);
+  s.value = r.bytes();
+  s.signature = r.bytes();
+  r.expect_done();
+  return s;
+}
+
+crypto::Hash256 stopdata_digest(const StopData& s) {
+  Writer w;
+  w.str("bft.stopdata");
+  write_stopdata_body(w, s);
+  return crypto::sha256(w.data());
+}
+
+Bytes encode_sync(const Sync& s) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgKind::sync));
+  w.u32(s.new_epoch);
+  w.u64(s.cid);
+  w.u32(static_cast<std::uint32_t>(s.stopdata_blobs.size()));
+  for (const Bytes& blob : s.stopdata_blobs) w.bytes(blob);
+  w.bytes(s.proposed_value);
+  return std::move(w).take();
+}
+
+Sync decode_sync(ByteView data) {
+  Reader r(data);
+  expect_kind(r, MsgKind::sync);
+  Sync s;
+  s.new_epoch = r.u32();
+  s.cid = r.u64();
+  const std::uint32_t blobs = r.u32();
+  s.stopdata_blobs.reserve(r.safe_reserve(blobs));
+  for (std::uint32_t i = 0; i < blobs; ++i) s.stopdata_blobs.push_back(r.bytes());
+  s.proposed_value = r.bytes();
+  r.expect_done();
+  return s;
+}
+
+Bytes encode_state_request(const StateRequest& s) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgKind::state_request));
+  w.u64(s.last_decided);
+  return std::move(w).take();
+}
+
+StateRequest decode_state_request(ByteView data) {
+  Reader r(data);
+  expect_kind(r, MsgKind::state_request);
+  StateRequest s;
+  s.last_decided = r.u64();
+  r.expect_done();
+  return s;
+}
+
+namespace {
+
+void write_state_reply_body(Writer& w, const StateReply& s) {
+  w.u64(s.snapshot_cid);
+  w.bytes(s.snapshot);
+  w.u32(static_cast<std::uint32_t>(s.log.size()));
+  for (const LogEntry& e : s.log) {
+    w.u64(e.cid);
+    w.bytes(e.value);
+  }
+}
+
+}  // namespace
+
+Bytes encode_state_reply(const StateReply& s) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgKind::state_reply));
+  write_state_reply_body(w, s);
+  w.u32(s.epoch);
+  return std::move(w).take();
+}
+
+StateReply decode_state_reply(ByteView data) {
+  Reader r(data);
+  expect_kind(r, MsgKind::state_reply);
+  StateReply s;
+  s.snapshot_cid = r.u64();
+  s.snapshot = r.bytes();
+  const std::uint32_t entries = r.u32();
+  s.log.reserve(r.safe_reserve(entries));
+  for (std::uint32_t i = 0; i < entries; ++i) {
+    LogEntry e;
+    e.cid = r.u64();
+    e.value = r.bytes();
+    s.log.push_back(std::move(e));
+  }
+  s.epoch = r.u32();
+  r.expect_done();
+  return s;
+}
+
+crypto::Hash256 state_reply_digest(const StateReply& s) {
+  // The epoch is deliberately excluded: replicas at different regencies still
+  // agree on the decided prefix.
+  Writer w;
+  w.str("bft.state");
+  write_state_reply_body(w, s);
+  return crypto::sha256(w.data());
+}
+
+Bytes encode_value_request(const ValueRequest& v) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgKind::value_request));
+  w.u64(v.cid);
+  put_hash(w, v.hash);
+  return std::move(w).take();
+}
+
+ValueRequest decode_value_request(ByteView data) {
+  Reader r(data);
+  expect_kind(r, MsgKind::value_request);
+  ValueRequest v;
+  v.cid = r.u64();
+  v.hash = get_hash(r);
+  r.expect_done();
+  return v;
+}
+
+Bytes encode_value_reply(const ValueReply& v) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgKind::value_reply));
+  w.u64(v.cid);
+  w.bytes(v.value);
+  return std::move(w).take();
+}
+
+ValueReply decode_value_reply(ByteView data) {
+  Reader r(data);
+  expect_kind(r, MsgKind::value_reply);
+  ValueReply v;
+  v.cid = r.u64();
+  v.value = r.bytes();
+  r.expect_done();
+  return v;
+}
+
+Bytes encode_register_receiver() {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgKind::register_receiver));
+  return std::move(w).take();
+}
+
+Bytes encode_push(ByteView payload) {
+  Writer w(payload.size() + 8);
+  w.u8(static_cast<std::uint8_t>(MsgKind::push));
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+Bytes decode_push(ByteView data) {
+  Reader r(data);
+  expect_kind(r, MsgKind::push);
+  Bytes payload = r.bytes();
+  r.expect_done();
+  return payload;
+}
+
+}  // namespace bft::smr

@@ -1,0 +1,188 @@
+// Wire messages exchanged by replicas, clients and receivers.
+//
+// Encodings are deterministic (common/serial.hpp), length-checked on decode,
+// and versioned by a leading kind byte. Decode functions throw DecodeError on
+// malformed input; replicas treat that as a Byzantine sender and drop.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/serial.hpp"
+#include "consensus/instance.hpp"
+
+namespace bft::smr {
+
+using consensus::ConsensusId;
+using consensus::Epoch;
+using consensus::ReplicaId;
+using consensus::ValueHash;
+using consensus::WriteCertificate;
+
+enum class MsgKind : std::uint8_t {
+  request = 1,        // client -> replicas
+  forward = 2,        // replica -> leader (timed-out request relay)
+  propose = 3,        // leader -> replicas
+  write = 4,          // replica -> replicas
+  accept = 5,         // replica -> replicas
+  stop = 6,           // synchronization phase trigger
+  stopdata = 7,       // replica -> new leader
+  sync = 8,           // new leader -> replicas
+  reply = 9,          // replica -> client
+  state_request = 10, // lagging replica -> replicas
+  state_reply = 11,   // replica -> lagging replica
+  value_request = 12, // decided-without-value recovery
+  value_reply = 13,
+  register_receiver = 14,  // receiver -> replicas (custom-replier audience)
+  push = 15,               // replica -> receivers (application payload)
+};
+
+/// Reads the kind byte without consuming the message.
+MsgKind peek_kind(ByteView data);
+
+/// Request kinds: ordinary application payloads vs. membership changes
+/// executed by the SMR core itself (§5.2 reconfiguration).
+enum class RequestKind : std::uint8_t { application = 0, reconfig = 1 };
+
+struct Request {
+  std::uint32_t client = 0;
+  std::uint64_t seq = 0;
+  RequestKind kind = RequestKind::application;
+  Bytes payload;
+
+  bool operator==(const Request& other) const;
+};
+
+/// A batch of requests: the value decided by one consensus instance.
+struct Batch {
+  std::vector<Request> requests;
+
+  Bytes encode() const;
+  static Batch decode(ByteView data);
+};
+
+// --- client traffic ---
+
+Bytes encode_request(const Request& r);
+Request decode_request(ByteView data);
+
+Bytes encode_forward(const Request& r);
+Request decode_forward(ByteView data);
+
+struct Reply {
+  std::uint64_t client_seq = 0;
+  ConsensusId cid = 0;
+  Bytes payload;
+};
+Bytes encode_reply(const Reply& r);
+Reply decode_reply(ByteView data);
+
+// --- consensus traffic ---
+
+struct Propose {
+  ConsensusId cid = 0;
+  Epoch epoch = 0;
+  Bytes value;  // encoded Batch
+};
+Bytes encode_propose(const Propose& p);
+Propose decode_propose(ByteView data);
+
+struct WriteMsg {
+  ConsensusId cid = 0;
+  Epoch epoch = 0;
+  ValueHash hash{};
+  Bytes signature;  // empty when unsigned writes are configured
+};
+Bytes encode_write(const WriteMsg& w);
+WriteMsg decode_write(ByteView data);
+
+struct AcceptMsg {
+  ConsensusId cid = 0;
+  Epoch epoch = 0;
+  ValueHash hash{};
+};
+Bytes encode_accept(const AcceptMsg& a);
+AcceptMsg decode_accept(ByteView data);
+
+// --- synchronization phase ---
+
+struct Stop {
+  Epoch next_epoch = 0;
+  /// Sender's confirmed decision cursor: a catch-up hint that lets stragglers
+  /// notice they missed decisions even when consensus traffic has dried up.
+  ConsensusId last_decided = 0;
+};
+Bytes encode_stop(const Stop& s);
+Stop decode_stop(ByteView data);
+
+struct StopData {
+  Epoch next_epoch = 0;
+  ReplicaId from = 0;
+  ConsensusId last_decided = 0;
+  ConsensusId cid = 0;  // instance being synchronized
+  std::optional<WriteCertificate> cert;
+  Bytes value;      // value backing the certificate (may be empty if unknown)
+  Bytes signature;  // over stopdata_digest(*this)
+};
+Bytes encode_stopdata(const StopData& s);
+StopData decode_stopdata(ByteView data);
+/// Digest covered by a STOPDATA signature (everything but the signature).
+crypto::Hash256 stopdata_digest(const StopData& s);
+
+struct Sync {
+  Epoch new_epoch = 0;
+  ConsensusId cid = 0;
+  std::vector<Bytes> stopdata_blobs;  // encoded StopData, signature-preserving
+  Bytes proposed_value;               // encoded Batch
+};
+Bytes encode_sync(const Sync& s);
+Sync decode_sync(ByteView data);
+
+// --- state transfer ---
+
+struct StateRequest {
+  ConsensusId last_decided = 0;
+};
+Bytes encode_state_request(const StateRequest& s);
+StateRequest decode_state_request(ByteView data);
+
+struct LogEntry {
+  ConsensusId cid = 0;
+  Bytes value;  // encoded Batch
+};
+
+struct StateReply {
+  ConsensusId snapshot_cid = 0;  // decisions up to and including this one
+  Bytes snapshot;                // application + core state at snapshot_cid
+  std::vector<LogEntry> log;     // decisions after the snapshot
+  Epoch epoch = 0;               // sender's current regency
+};
+Bytes encode_state_reply(const StateReply& s);
+StateReply decode_state_reply(ByteView data);
+/// Digest used to find f+1 matching state replies.
+crypto::Hash256 state_reply_digest(const StateReply& s);
+
+// --- decided-value recovery ---
+
+struct ValueRequest {
+  ConsensusId cid = 0;
+  ValueHash hash{};
+};
+Bytes encode_value_request(const ValueRequest& v);
+ValueRequest decode_value_request(ByteView data);
+
+struct ValueReply {
+  ConsensusId cid = 0;
+  Bytes value;
+};
+Bytes encode_value_reply(const ValueReply& v);
+ValueReply decode_value_reply(ByteView data);
+
+// --- receiver registration and pushes (custom replier, §5.1) ---
+
+Bytes encode_register_receiver();
+
+Bytes encode_push(ByteView payload);
+Bytes decode_push(ByteView data);
+
+}  // namespace bft::smr

@@ -1,0 +1,55 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace bft {
+
+void Histogram::merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  dirty_ = true;
+}
+
+void Histogram::sort_if_needed() const {
+  if (dirty_) {
+    std::sort(samples_.begin(), samples_.end());
+    dirty_ = false;
+  }
+}
+
+double Histogram::min() const {
+  if (empty()) throw std::logic_error("Histogram::min on empty histogram");
+  sort_if_needed();
+  return samples_.front();
+}
+
+double Histogram::max() const {
+  if (empty()) throw std::logic_error("Histogram::max on empty histogram");
+  sort_if_needed();
+  return samples_.back();
+}
+
+double Histogram::mean() const {
+  if (empty()) throw std::logic_error("Histogram::mean on empty histogram");
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Histogram::percentile(double q) const {
+  if (empty()) throw std::logic_error("Histogram::percentile on empty histogram");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: q outside [0,1]");
+  sort_if_needed();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(index, samples_.size() - 1)];
+}
+
+double RateMeter::rate(double seconds) const {
+  if (seconds <= 0.0) throw std::invalid_argument("RateMeter::rate: seconds <= 0");
+  return static_cast<double>(events_) / seconds;
+}
+
+}  // namespace bft

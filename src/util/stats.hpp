@@ -1,0 +1,44 @@
+// Latency/throughput accumulators used by benches and EXPERIMENTS.md tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bft {
+
+/// Collects samples and reports order statistics. Not thread-safe.
+class Histogram {
+ public:
+  void add(double sample) { samples_.push_back(sample); dirty_ = true; }
+  void merge(const Histogram& other);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// q in [0,1]; nearest-rank on the sorted samples.
+  double percentile(double q) const;
+  double median() const { return percentile(0.5); }
+
+ private:
+  void sort_if_needed() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool dirty_ = false;
+};
+
+/// Counts events over a known duration; reports a rate.
+class RateMeter {
+ public:
+  void add(std::uint64_t events = 1) { events_ += events; }
+  std::uint64_t events() const { return events_; }
+  /// events per second over `seconds` (> 0).
+  double rate(double seconds) const;
+
+ private:
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace bft

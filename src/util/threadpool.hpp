@@ -1,0 +1,44 @@
+// Fixed-size worker pool used for block signing (the paper's "signing &
+// sending threads", §5.1) and for running real-runtime node hosts.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bft {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (>= 1).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; throws std::runtime_error after shutdown began.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished executing.
+  void drain();
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> jobs_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace bft

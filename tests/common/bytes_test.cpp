@@ -1,0 +1,56 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), data);
+}
+
+TEST(BytesTest, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(BytesTest, HexUppercaseAccepted) {
+  EXPECT_EQ(from_hex("ABCDEF"), (Bytes{0xab, 0xcd, 0xef}));
+}
+
+TEST(BytesTest, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(BytesTest, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(BytesTest, StringConversionRoundTrip) {
+  EXPECT_EQ(to_string(to_bytes("hello")), "hello");
+}
+
+TEST(BytesTest, AppendConcat) {
+  Bytes a = {1, 2};
+  append(a, Bytes{3, 4});
+  EXPECT_EQ(a, (Bytes{1, 2, 3, 4}));
+
+  const Bytes x = {9};
+  const Bytes y = {8, 7};
+  EXPECT_EQ(concat({ByteView(x), ByteView(y)}), (Bytes{9, 8, 7}));
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+}
+
+}  // namespace
+}  // namespace bft

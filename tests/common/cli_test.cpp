@@ -1,0 +1,61 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft {
+namespace {
+
+CliFlags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliFlags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliTest, SpaceSeparatedValue) {
+  const auto flags = parse({"--orderers", "7"});
+  EXPECT_EQ(flags.get_int("orderers", 0), 7);
+}
+
+TEST(CliTest, EqualsSeparatedValue) {
+  const auto flags = parse({"--block=100"});
+  EXPECT_EQ(flags.get_int("block", 0), 100);
+}
+
+TEST(CliTest, BareBooleanFlag) {
+  const auto flags = parse({"--verbose"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+}
+
+TEST(CliTest, FallbacksWhenAbsent) {
+  const auto flags = parse({});
+  EXPECT_EQ(flags.get("name", "x"), "x");
+  EXPECT_EQ(flags.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("d", 1.5), 1.5);
+  EXPECT_FALSE(flags.get_bool("b", false));
+}
+
+TEST(CliTest, BooleanParsing) {
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+  EXPECT_THROW(parse({"--x=maybe"}).get_bool("x", false), std::invalid_argument);
+}
+
+TEST(CliTest, RejectsPositionalArguments) {
+  EXPECT_THROW(parse({"positional"}), std::invalid_argument);
+}
+
+TEST(CliTest, UnusedFlagsReported) {
+  const auto flags = parse({"--typo=1", "--used=2"});
+  EXPECT_EQ(flags.get_int("used", 0), 2);
+  EXPECT_EQ(flags.unused(), "--typo");
+}
+
+TEST(CliTest, HasMarksUsed) {
+  const auto flags = parse({"--present"});
+  EXPECT_TRUE(flags.has("present"));
+  EXPECT_FALSE(flags.has("absent"));
+  EXPECT_TRUE(flags.unused().empty());
+}
+
+}  // namespace
+}  // namespace bft

@@ -1,0 +1,96 @@
+#include "common/serial.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft {
+namespace {
+
+TEST(SerialTest, IntegerRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(SerialTest, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data(), (Bytes{0x04, 0x03, 0x02, 0x01}));
+}
+
+TEST(SerialTest, BytesAndStringsRoundTrip) {
+  Writer w;
+  w.bytes(Bytes{1, 2, 3});
+  w.str("channel-0");
+  w.bytes({});
+
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "channel-0");
+  EXPECT_TRUE(r.bytes().empty());
+  r.expect_done();
+}
+
+TEST(SerialTest, RawHasNoLengthPrefix) {
+  Writer w;
+  w.raw(Bytes{7, 8, 9});
+  EXPECT_EQ(w.size(), 3u);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.raw(3), (Bytes{7, 8, 9}));
+}
+
+TEST(SerialTest, TruncatedInputThrows) {
+  Writer w;
+  w.u32(5);
+  Reader r(w.data());
+  EXPECT_THROW(r.u64(), DecodeError);
+}
+
+TEST(SerialTest, TruncatedByteStringThrows) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow, none do
+  Reader r(w.data());
+  EXPECT_THROW(r.bytes(), DecodeError);
+}
+
+TEST(SerialTest, InvalidBooleanThrows) {
+  const Bytes raw = {2};
+  Reader r(raw);
+  EXPECT_THROW(r.boolean(), DecodeError);
+}
+
+TEST(SerialTest, ExpectDoneThrowsOnTrailingBytes) {
+  const Bytes raw = {1, 2};
+  Reader r(raw);
+  r.u8();
+  EXPECT_THROW(r.expect_done(), DecodeError);
+}
+
+TEST(SerialTest, DeterministicEncoding) {
+  auto encode = [] {
+    Writer w;
+    w.str("abc");
+    w.u64(77);
+    w.bytes(Bytes{9});
+    return std::move(w).take();
+  };
+  EXPECT_EQ(encode(), encode());
+}
+
+}  // namespace
+}  // namespace bft

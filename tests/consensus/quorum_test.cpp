@@ -1,0 +1,156 @@
+#include "consensus/quorum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft::consensus {
+namespace {
+
+TEST(QuorumTest, ClassicThresholds) {
+  // ceil((n+f+1)/2) for the paper's cluster sizes (§6.2).
+  const QuorumSystem q4 = QuorumSystem::classic(4);
+  EXPECT_EQ(q4.f(), 1u);
+  EXPECT_EQ(q4.quorum_weight(), 3u);
+  EXPECT_EQ(q4.evidence_weight(), 2u);
+
+  const QuorumSystem q7 = QuorumSystem::classic(7);
+  EXPECT_EQ(q7.f(), 2u);
+  EXPECT_EQ(q7.quorum_weight(), 5u);
+  EXPECT_EQ(q7.evidence_weight(), 3u);
+
+  const QuorumSystem q10 = QuorumSystem::classic(10);
+  EXPECT_EQ(q10.f(), 3u);
+  EXPECT_EQ(q10.quorum_weight(), 7u);
+  EXPECT_EQ(q10.evidence_weight(), 4u);
+}
+
+TEST(QuorumTest, ClassicCountHelpers) {
+  const QuorumSystem q = QuorumSystem::classic(7);
+  EXPECT_EQ(q.count_2f_plus_1(), 5u);
+  EXPECT_EQ(q.count_f_plus_1(), 3u);
+}
+
+TEST(QuorumTest, SingleNodeDegenerate) {
+  const QuorumSystem q = QuorumSystem::classic(1);
+  EXPECT_EQ(q.f(), 0u);
+  EXPECT_EQ(q.quorum_weight(), 1u);
+  EXPECT_TRUE(q.is_quorum({0}));
+}
+
+TEST(QuorumTest, ClassicSmallClustersAreCrashFaultOnly) {
+  EXPECT_THROW(QuorumSystem::classic(0), std::invalid_argument);
+  // n in {2,3} tolerates no Byzantine fault; quorums degrade to majorities.
+  const QuorumSystem q2 = QuorumSystem::classic(2);
+  EXPECT_EQ(q2.f(), 0u);
+  EXPECT_EQ(q2.quorum_weight(), 2u);
+  const QuorumSystem q3 = QuorumSystem::classic(3);
+  EXPECT_EQ(q3.f(), 0u);
+  EXPECT_EQ(q3.quorum_weight(), 2u);
+  EXPECT_EQ(q3.evidence_weight(), 1u);
+}
+
+TEST(QuorumTest, WheatPaperConfiguration) {
+  // §6.3: five replicas, f=1, Δ=1; two carry Vmax=2, three carry Vmin=1.
+  const QuorumSystem q = QuorumSystem::wheat(5, 1, {0, 4});
+  EXPECT_EQ(q.weight_of(0), 2u);
+  EXPECT_EQ(q.weight_of(4), 2u);
+  EXPECT_EQ(q.weight_of(1), 1u);
+  EXPECT_EQ(q.total_weight(), 7u);
+  EXPECT_EQ(q.quorum_weight(), 5u);
+  // The two Vmax replicas plus any one Vmin replica form the fast quorum.
+  EXPECT_TRUE(q.is_quorum({0, 4, 1}));
+  // Two Vmax alone do not suffice.
+  EXPECT_FALSE(q.is_quorum({0, 4}));
+  // All Vmin plus one Vmax: 1+1+1+2 = 5, a quorum.
+  EXPECT_TRUE(q.is_quorum({1, 2, 3, 0}));
+  // All three Vmin alone: 3 < 5.
+  EXPECT_FALSE(q.is_quorum({1, 2, 3}));
+}
+
+TEST(QuorumTest, WheatDegeneratesToClassicWithZeroDelta) {
+  const QuorumSystem wheat = QuorumSystem::wheat(4, 1, {0, 1});
+  const QuorumSystem classic = QuorumSystem::classic(4);
+  // Weights scaled by f=1 are all 1; same thresholds.
+  EXPECT_EQ(wheat.quorum_weight(), classic.quorum_weight());
+  EXPECT_EQ(wheat.total_weight(), classic.total_weight());
+}
+
+TEST(QuorumTest, WheatValidation) {
+  EXPECT_THROW(QuorumSystem::wheat(5, 0, {}), std::invalid_argument);
+  EXPECT_THROW(QuorumSystem::wheat(4, 1, {0}), std::invalid_argument);     // need 2f
+  EXPECT_THROW(QuorumSystem::wheat(3, 1, {0, 1}), std::invalid_argument);  // n < 3f+1
+  EXPECT_THROW(QuorumSystem::wheat(5, 1, {0, 9}), std::invalid_argument);  // bad id
+}
+
+TEST(QuorumTest, WeightOfSetIgnoresUnknownIds) {
+  const QuorumSystem q = QuorumSystem::classic(4);
+  EXPECT_EQ(q.weight_of_set({0, 1, 99}), 2u);
+  EXPECT_EQ(q.weight_of(99), 0u);
+}
+
+struct QuorumCase {
+  std::uint32_t f;
+  std::uint32_t delta;
+};
+
+class QuorumIntersection : public ::testing::TestWithParam<QuorumCase> {};
+
+// Property: any two weight-quorums intersect in more than f*Vmax weight,
+// hence in at least one correct replica — the core safety argument of both
+// BFT-SMaRt and WHEAT. Verified exhaustively over all subsets.
+TEST_P(QuorumIntersection, AnyTwoQuorumsShareACorrectReplica) {
+  const auto [f, delta] = GetParam();
+  const std::uint32_t n = 3 * f + 1 + delta;
+  std::set<ReplicaId> vmax;
+  for (ReplicaId i = 0; i < 2 * f; ++i) vmax.insert(i);
+  const QuorumSystem q = delta == 0 ? QuorumSystem::classic(n)
+                                    : QuorumSystem::wheat(n, f, vmax);
+
+  const Weight vmax_weight = *std::max_element(q.weights().begin(), q.weights().end());
+  const Weight byz_weight = static_cast<Weight>(f) * vmax_weight;
+
+  std::vector<std::set<ReplicaId>> quorums;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::set<ReplicaId> s;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) s.insert(i);
+    }
+    if (q.is_quorum(s)) quorums.push_back(std::move(s));
+  }
+  ASSERT_FALSE(quorums.empty());
+
+  for (std::size_t a = 0; a < quorums.size(); ++a) {
+    for (std::size_t b = a; b < quorums.size(); ++b) {
+      std::set<ReplicaId> inter;
+      for (ReplicaId id : quorums[a]) {
+        if (quorums[b].count(id)) inter.insert(id);
+      }
+      ASSERT_GT(q.weight_of_set(inter), byz_weight)
+          << "quorum pair intersects only in potentially Byzantine weight";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuorumIntersection,
+    ::testing::Values(QuorumCase{1, 0}, QuorumCase{1, 1}, QuorumCase{1, 2},
+                      QuorumCase{2, 0}, QuorumCase{2, 2}, QuorumCase{3, 0}),
+    [](const ::testing::TestParamInfo<QuorumCase>& info) {
+      return "f" + std::to_string(info.param.f) + "delta" +
+             std::to_string(info.param.delta);
+    });
+
+// Property: a minimal quorum using the heaviest replicas is never larger than
+// one using uniform weights — WHEAT's raison d'être (fewer machines needed).
+TEST(QuorumTest, WheatFastQuorumIsSmallerThanClassic) {
+  const QuorumSystem wheat = QuorumSystem::wheat(5, 1, {0, 1});
+  // Classic 5-replica quorum needs ceil((5+1+1)/2) = 4 machines.
+  const QuorumSystem classic = QuorumSystem::classic(5);
+  std::set<ReplicaId> four = {0, 1, 2, 3};
+  std::set<ReplicaId> three_fast = {0, 1, 2};
+  EXPECT_TRUE(classic.is_quorum(four));
+  EXPECT_FALSE(classic.is_quorum(three_fast));
+  EXPECT_TRUE(wheat.is_quorum(three_fast));
+}
+
+}  // namespace
+}  // namespace bft::consensus

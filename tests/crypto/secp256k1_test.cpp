@@ -1,0 +1,165 @@
+#include "crypto/secp256k1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace bft::crypto::secp256k1 {
+namespace {
+
+Affine mul_affine(const Affine& p, const U256& k) {
+  return to_affine(scalar_mul(p, k));
+}
+
+TEST(Secp256k1Test, GeneratorOnCurve) {
+  EXPECT_TRUE(on_curve(generator()));
+}
+
+TEST(Secp256k1Test, KnownMultiplesOfG) {
+  // 2G and 3G from the standard secp256k1 reference tables.
+  const Affine g2 = mul_affine(generator(), U256::from_u64(2));
+  EXPECT_EQ(to_hex(g2.x.to_be_bytes()),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_EQ(to_hex(g2.y.to_be_bytes()),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+
+  const Affine g3 = mul_affine(generator(), U256::from_u64(3));
+  EXPECT_EQ(to_hex(g3.x.to_be_bytes()),
+            "f9308a019258c31049344f85f89d5229b531c845836f99b08601f113bce036f9");
+  EXPECT_EQ(to_hex(g3.y.to_be_bytes()),
+            "388f7b0f632de8140fe337e62a37f3566500a99934c2231b6cb9fd7584b8e672");
+}
+
+TEST(Secp256k1Test, DoubleMatchesAdd) {
+  const Jacobian g = to_jacobian(generator());
+  const Affine via_dbl = to_affine(dbl(g));
+  const Affine via_add = to_affine(add(g, g));
+  EXPECT_EQ(via_dbl, via_add);
+}
+
+TEST(Secp256k1Test, MixedAddMatchesGeneralAdd) {
+  const Jacobian g2 = dbl(to_jacobian(generator()));
+  const Affine sum_mixed = to_affine(add_mixed(g2, generator()));
+  const Affine sum_general = to_affine(add(g2, to_jacobian(generator())));
+  EXPECT_EQ(sum_mixed, sum_general);
+}
+
+TEST(Secp256k1Test, AdditionCommutes) {
+  const Jacobian g = to_jacobian(generator());
+  const Jacobian g2 = dbl(g);
+  EXPECT_EQ(to_affine(add(g, g2)), to_affine(add(g2, g)));
+}
+
+TEST(Secp256k1Test, InfinityIsIdentity) {
+  const Jacobian g = to_jacobian(generator());
+  const Jacobian inf = Jacobian::infinity();
+  EXPECT_EQ(to_affine(add(g, inf)), generator());
+  EXPECT_EQ(to_affine(add(inf, g)), generator());
+  EXPECT_TRUE(dbl(inf).is_infinity());
+  EXPECT_TRUE(add(inf, inf).is_infinity());
+}
+
+TEST(Secp256k1Test, InverseSumsToInfinity) {
+  // G + (-G) = O, with -G = (x, p - y).
+  const Affine& g = generator();
+  const Affine neg_g{g.x, field().neg(g.y), false};
+  EXPECT_TRUE(on_curve(neg_g));
+  EXPECT_TRUE(add(to_jacobian(g), to_jacobian(neg_g)).is_infinity());
+}
+
+TEST(Secp256k1Test, OrderTimesGeneratorIsInfinity) {
+  EXPECT_TRUE(scalar_mul(generator(), order_n()).is_infinity());
+  EXPECT_TRUE(generator_mul(order_n()).is_infinity());
+}
+
+TEST(Secp256k1Test, NMinusOneGeneratorIsNegG) {
+  U256 n_minus_1;
+  sub_with_borrow(order_n(), U256::one(), n_minus_1);
+  const Affine p = to_affine(generator_mul(n_minus_1));
+  EXPECT_EQ(p.x, generator().x);
+  EXPECT_EQ(p.y, field().neg(generator().y));
+}
+
+TEST(Secp256k1Test, GeneratorMulMatchesScalarMul) {
+  Rng rng(55);
+  for (int i = 0; i < 10; ++i) {
+    const U256 k = order().reduce(U256::from_be_bytes(rng.bytes(32)));
+    EXPECT_EQ(to_affine(generator_mul(k)), mul_affine(generator(), k));
+  }
+}
+
+TEST(Secp256k1Test, ScalarMulDistributesOverAddition) {
+  // (a+b)G == aG + bG for random scalars.
+  Rng rng(66);
+  for (int i = 0; i < 8; ++i) {
+    const ModArith& fn = order();
+    const U256 a = fn.reduce(U256::from_be_bytes(rng.bytes(32)));
+    const U256 b = fn.reduce(U256::from_be_bytes(rng.bytes(32)));
+    const U256 ab = fn.add(a, b);
+    const Affine lhs = to_affine(generator_mul(ab));
+    const Affine rhs = to_affine(add(generator_mul(a), generator_mul(b)));
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(Secp256k1Test, DoubleScalarMulMatchesSeparate) {
+  Rng rng(77);
+  for (int i = 0; i < 6; ++i) {
+    const ModArith& fn = order();
+    const U256 u1 = fn.reduce(U256::from_be_bytes(rng.bytes(32)));
+    const U256 u2 = fn.reduce(U256::from_be_bytes(rng.bytes(32)));
+    const Affine q = to_affine(generator_mul(
+        fn.reduce(U256::from_be_bytes(rng.bytes(32)))));
+    const Affine combined = to_affine(double_scalar_mul(u1, u2, q));
+    const Affine separate =
+        to_affine(add(generator_mul(u1), scalar_mul(q, u2)));
+    EXPECT_EQ(combined, separate);
+  }
+}
+
+TEST(Secp256k1Test, ResultsStayOnCurve) {
+  Rng rng(88);
+  for (int i = 0; i < 10; ++i) {
+    const U256 k = order().reduce(U256::from_be_bytes(rng.bytes(32)));
+    if (k.is_zero()) continue;
+    EXPECT_TRUE(on_curve(to_affine(generator_mul(k))));
+  }
+}
+
+TEST(Secp256k1Test, LiftXRecoversPoints) {
+  Rng rng(99);
+  for (int i = 0; i < 10; ++i) {
+    const U256 k = order().reduce(U256::from_be_bytes(rng.bytes(32)));
+    if (k.is_zero()) continue;
+    const Affine p = to_affine(generator_mul(k));
+    const auto lifted = lift_x(p.x, p.y.is_odd());
+    ASSERT_TRUE(lifted.has_value());
+    EXPECT_EQ(*lifted, p);
+    const auto flipped = lift_x(p.x, !p.y.is_odd());
+    ASSERT_TRUE(flipped.has_value());
+    EXPECT_EQ(flipped->y, field().neg(p.y));
+  }
+}
+
+TEST(Secp256k1Test, LiftXRejectsNonResidue) {
+  // Scan a few x values; roughly half are non-residues.
+  int rejected = 0;
+  for (std::uint64_t x = 2; x < 30; ++x) {
+    if (!lift_x(U256::from_u64(x), false).has_value()) ++rejected;
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(Secp256k1Test, OnCurveRejectsOffCurvePoints) {
+  Affine bogus{U256::from_u64(1), U256::from_u64(1), false};
+  EXPECT_FALSE(on_curve(bogus));
+  EXPECT_FALSE(on_curve(Affine{U256::zero(), U256::zero(), true}));
+}
+
+TEST(Secp256k1Test, ZeroScalarGivesInfinity) {
+  EXPECT_TRUE(scalar_mul(generator(), U256::zero()).is_infinity());
+  EXPECT_TRUE(generator_mul(U256::zero()).is_infinity());
+}
+
+}  // namespace
+}  // namespace bft::crypto::secp256k1

@@ -1,0 +1,86 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft::crypto {
+namespace {
+
+std::string digest_hex(ByteView data) { return hash_hex(sha256(data)); }
+
+// FIPS 180-4 / NIST CAVP reference vectors.
+TEST(Sha256Test, EmptyInput) {
+  EXPECT_EQ(digest_hex({}),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(digest_hex(to_bytes("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      digest_hex(to_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  const Bytes data(1000000, static_cast<std::uint8_t>('a'));
+  EXPECT_EQ(digest_hex(data),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  // 64-byte input exercises the padding-overflow path.
+  const Bytes data(64, static_cast<std::uint8_t>('x'));
+  const Hash256 whole = sha256(data);
+  Sha256 h;
+  h.update(ByteView(data.data(), 64));
+  EXPECT_EQ(h.finish(), whole);
+}
+
+TEST(Sha256Test, StreamingMatchesOneShot) {
+  Bytes data;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  const Hash256 whole = sha256(data);
+
+  for (std::size_t chunk : {1u, 3u, 63u, 64u, 65u, 977u}) {
+    Sha256 h;
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const std::size_t take = std::min(chunk, data.size() - off);
+      h.update(ByteView(data.data() + off, take));
+      off += take;
+    }
+    EXPECT_EQ(h.finish(), whole) << "chunk size " << chunk;
+  }
+}
+
+TEST(Sha256Test, ReusableAfterFinish) {
+  Sha256 h;
+  h.update(to_bytes("abc"));
+  (void)h.finish();
+  h.update(to_bytes("abc"));
+  EXPECT_EQ(hash_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, DoubleSha) {
+  // sha256d("") == sha256(sha256(""))
+  const Hash256 once = sha256({});
+  const Hash256 twice = sha256(ByteView(once.data(), once.size()));
+  EXPECT_EQ(sha256d({}), twice);
+}
+
+TEST(Sha256Test, HashBytesRoundTrip) {
+  const Hash256 h = sha256(to_bytes("roundtrip"));
+  EXPECT_EQ(hash_from_bytes(hash_bytes(h)), h);
+  EXPECT_THROW(hash_from_bytes(Bytes{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(sha256(to_bytes("a")), sha256(to_bytes("b")));
+}
+
+}  // namespace
+}  // namespace bft::crypto

@@ -1,0 +1,117 @@
+#include "crypto/u256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft::crypto {
+namespace {
+
+TEST(U256Test, HexRoundTrip) {
+  const U256 v = U256::from_hex("0123456789abcdef");
+  EXPECT_EQ(v.limbs[0], 0x0123456789abcdefULL);
+  EXPECT_EQ(v.limbs[1], 0u);
+  EXPECT_EQ(to_hex(v.to_be_bytes()),
+            "000000000000000000000000000000000000000000000000"
+            "0123456789abcdef");
+}
+
+TEST(U256Test, BeBytesRoundTrip) {
+  const U256 v = U256::from_hex(
+      "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+  EXPECT_EQ(U256::from_be_bytes(v.to_be_bytes()), v);
+}
+
+TEST(U256Test, FromHexValidation) {
+  EXPECT_THROW(U256::from_hex(""), std::invalid_argument);
+  EXPECT_THROW(U256::from_hex(std::string(65, 'f')), std::invalid_argument);
+  EXPECT_THROW(U256::from_hex("0g"), std::invalid_argument);
+}
+
+TEST(U256Test, Comparison) {
+  const U256 a = U256::from_u64(5);
+  const U256 b = U256::from_hex("100000000000000000");  // 2^64
+  EXPECT_LT(cmp(a, b), 0);
+  EXPECT_GT(cmp(b, a), 0);
+  EXPECT_EQ(cmp(a, a), 0);
+  EXPECT_TRUE(a < b);
+}
+
+TEST(U256Test, AddCarryPropagation) {
+  U256 max;
+  max.limbs = {~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  U256 out;
+  EXPECT_EQ(add_with_carry(max, U256::one(), out), 1u);
+  EXPECT_TRUE(out.is_zero());
+}
+
+TEST(U256Test, SubBorrowPropagation) {
+  U256 out;
+  EXPECT_EQ(sub_with_borrow(U256::zero(), U256::one(), out), 1u);
+  U256 max;
+  max.limbs = {~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  EXPECT_EQ(out, max);
+}
+
+TEST(U256Test, AddSubInverse) {
+  const U256 a = U256::from_hex("deadbeefdeadbeefdeadbeefdeadbeef");
+  const U256 b = U256::from_hex("123456789abcdef0");
+  U256 sum, back;
+  add_with_carry(a, b, sum);
+  sub_with_borrow(sum, b, back);
+  EXPECT_EQ(back, a);
+}
+
+TEST(U256Test, MulWideSmall) {
+  const auto prod = mul_wide(U256::from_u64(7), U256::from_u64(6));
+  EXPECT_EQ(prod[0], 42u);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_EQ(prod[i], 0u);
+}
+
+TEST(U256Test, MulWideCrossLimb) {
+  // (2^64) * (2^64) = 2^128
+  const U256 x = U256::from_hex("10000000000000000");
+  const auto prod = mul_wide(x, x);
+  EXPECT_EQ(prod[2], 1u);
+  for (std::size_t i : {0u, 1u, 3u, 4u, 5u, 6u, 7u}) EXPECT_EQ(prod[i], 0u);
+}
+
+TEST(U256Test, MulWideMaxValues) {
+  // (2^256-1)^2 = 2^512 - 2^257 + 1
+  U256 max;
+  max.limbs = {~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  const auto prod = mul_wide(max, max);
+  EXPECT_EQ(prod[0], 1u);
+  EXPECT_EQ(prod[1], 0u);
+  EXPECT_EQ(prod[2], 0u);
+  EXPECT_EQ(prod[3], 0u);
+  EXPECT_EQ(prod[4], ~0ULL - 1);
+  EXPECT_EQ(prod[5], ~0ULL);
+  EXPECT_EQ(prod[6], ~0ULL);
+  EXPECT_EQ(prod[7], ~0ULL);
+}
+
+TEST(U256Test, BitAccess) {
+  const U256 v = U256::from_hex("8000000000000001");
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(63));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_FALSE(v.bit(64));
+  EXPECT_EQ(v.highest_bit(), 63);
+  EXPECT_EQ(U256::zero().highest_bit(), -1);
+  EXPECT_EQ(U256::one().highest_bit(), 0);
+}
+
+TEST(U256Test, Shr1) {
+  const U256 v = U256::from_hex("10000000000000000");  // 2^64
+  const U256 half = shr1(v);
+  EXPECT_EQ(half.limbs[0], 0x8000000000000000ULL);
+  EXPECT_EQ(half.limbs[1], 0u);
+  EXPECT_EQ(shr1(U256::one()), U256::zero());
+}
+
+TEST(U256Test, OddEven) {
+  EXPECT_TRUE(U256::one().is_odd());
+  EXPECT_FALSE(U256::from_u64(4).is_odd());
+}
+
+}  // namespace
+}  // namespace bft::crypto

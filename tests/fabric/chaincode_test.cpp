@@ -1,0 +1,146 @@
+#include "fabric/chaincode.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft::fabric {
+namespace {
+
+TEST(ChaincodeStubTest, RecordsReadVersions) {
+  VersionedKvStore state;
+  state.put("x", to_bytes("1"));
+  state.put("x", to_bytes("2"));  // version 2
+  ChaincodeStub stub(state);
+  EXPECT_EQ(stub.get("x"), to_bytes("2"));
+  EXPECT_EQ(stub.get("missing"), std::nullopt);
+  const RwSet set = stub.take_rwset(to_bytes("r"));
+  ASSERT_EQ(set.reads.size(), 2u);
+  EXPECT_EQ(set.reads[0], (ReadEntry{"x", 2}));
+  EXPECT_EQ(set.reads[1], (ReadEntry{"missing", 0}));
+}
+
+TEST(ChaincodeStubTest, DuplicateReadsRecordedOnce) {
+  VersionedKvStore state;
+  state.put("x", to_bytes("1"));
+  ChaincodeStub stub(state);
+  stub.get("x");
+  stub.get("x");
+  EXPECT_EQ(stub.take_rwset({}).reads.size(), 1u);
+}
+
+TEST(ChaincodeStubTest, ReadYourOwnWrites) {
+  VersionedKvStore state;
+  ChaincodeStub stub(state);
+  stub.put("x", to_bytes("new"));
+  EXPECT_EQ(stub.get("x"), to_bytes("new"));
+  stub.erase("x");
+  EXPECT_EQ(stub.get("x"), std::nullopt);
+  const RwSet set = stub.take_rwset({});
+  // Reads satisfied from the write buffer do not enter the read set.
+  EXPECT_TRUE(set.reads.empty());
+  ASSERT_EQ(set.writes.size(), 1u);  // final write wins
+  EXPECT_TRUE(set.writes[0].is_delete);
+}
+
+TEST(ChaincodeStubTest, LastWritePerKeyWins) {
+  VersionedKvStore state;
+  ChaincodeStub stub(state);
+  stub.put("x", to_bytes("a"));
+  stub.put("x", to_bytes("b"));
+  const RwSet set = stub.take_rwset({});
+  ASSERT_EQ(set.writes.size(), 1u);
+  EXPECT_EQ(set.writes[0].value, to_bytes("b"));
+}
+
+TEST(KvChaincodeTest, PutGetDel) {
+  VersionedKvStore state;
+  KvChaincode cc;
+  {
+    ChaincodeStub stub(state);
+    auto r = cc.invoke(stub, {"put", "k", "v"});
+    ASSERT_TRUE(r.ok());
+    const RwSet set = stub.take_rwset(std::move(r).take());
+    ASSERT_EQ(set.writes.size(), 1u);
+    EXPECT_EQ(set.writes[0].value, to_bytes("v"));
+  }
+  state.put("k", to_bytes("v"));
+  {
+    ChaincodeStub stub(state);
+    auto r = cc.invoke(stub, {"get", "k"});
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), to_bytes("v"));
+  }
+  {
+    ChaincodeStub stub(state);
+    EXPECT_FALSE(cc.invoke(stub, {"get", "missing"}).ok());
+    EXPECT_FALSE(cc.invoke(stub, {"put", "k"}).ok());
+    EXPECT_FALSE(cc.invoke(stub, {}).ok());
+  }
+}
+
+TEST(TokenChaincodeTest, OpenAndTransfer) {
+  VersionedKvStore state;
+  TokenChaincode cc;
+  auto run = [&](std::vector<std::string> args) {
+    ChaincodeStub stub(state);
+    auto r = cc.invoke(stub, args);
+    if (r.ok()) {
+      // Apply writes directly (single-peer shortcut for unit testing).
+      for (const auto& w : stub.take_rwset({}).writes) {
+        if (w.is_delete) {
+          state.erase(w.key);
+        } else {
+          state.put(w.key, w.value);
+        }
+      }
+    }
+    return r;
+  };
+
+  EXPECT_TRUE(run({"open", "alice", "100"}).ok());
+  EXPECT_TRUE(run({"open", "bob", "10"}).ok());
+  EXPECT_FALSE(run({"open", "alice", "5"}).ok());  // exists
+  EXPECT_TRUE(run({"transfer", "alice", "bob", "30"}).ok());
+  EXPECT_FALSE(run({"transfer", "alice", "bob", "1000"}).ok());  // insufficient
+  EXPECT_FALSE(run({"transfer", "alice", "bob", "-5"}).ok());
+  EXPECT_FALSE(run({"transfer", "alice", "ghost", "1"}).ok());
+
+  ChaincodeStub stub(state);
+  auto balance = cc.invoke(stub, {"balance", "alice"});
+  ASSERT_TRUE(balance.ok());
+  EXPECT_EQ(balance.value(), to_bytes("70"));
+  auto bob = cc.invoke(stub, {"balance", "bob"});
+  EXPECT_EQ(bob.value(), to_bytes("40"));
+}
+
+TEST(TokenChaincodeTest, RejectsMalformedAmounts) {
+  VersionedKvStore state;
+  TokenChaincode cc;
+  ChaincodeStub stub(state);
+  EXPECT_FALSE(cc.invoke(stub, {"open", "a", "12x"}).ok());
+  EXPECT_FALSE(cc.invoke(stub, {"open", "a", ""}).ok());
+  EXPECT_FALSE(cc.invoke(stub, {"open", "a", "-1"}).ok());
+}
+
+TEST(AssetChaincodeTest, CreateTransferQuery) {
+  VersionedKvStore state;
+  AssetChaincode cc;
+  {
+    ChaincodeStub stub(state);
+    ASSERT_TRUE(cc.invoke(stub, {"create", "car1", "alice", "tesla"}).ok());
+    for (const auto& w : stub.take_rwset({}).writes) state.put(w.key, w.value);
+  }
+  {
+    ChaincodeStub stub(state);
+    ASSERT_TRUE(cc.invoke(stub, {"transfer", "car1", "bob"}).ok());
+    for (const auto& w : stub.take_rwset({}).writes) state.put(w.key, w.value);
+  }
+  ChaincodeStub stub(state);
+  auto q = cc.invoke(stub, {"query", "car1"});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value(), to_bytes("bob|tesla"));
+  EXPECT_FALSE(cc.invoke(stub, {"query", "car2"}).ok());
+  EXPECT_FALSE(cc.invoke(stub, {"create", "car1", "x", "y"}).ok());
+}
+
+}  // namespace
+}  // namespace bft::fabric

@@ -1,0 +1,67 @@
+#include "fabric/kvstore.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft::fabric {
+namespace {
+
+TEST(KvStoreTest, GetMissingKey) {
+  VersionedKvStore store;
+  EXPECT_EQ(store.get("x"), std::nullopt);
+  EXPECT_EQ(store.version_of("x"), 0u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(KvStoreTest, PutBumpsVersion) {
+  VersionedKvStore store;
+  store.put("x", to_bytes("1"));
+  EXPECT_EQ(store.get("x"), to_bytes("1"));
+  EXPECT_EQ(store.version_of("x"), 1u);
+  store.put("x", to_bytes("2"));
+  EXPECT_EQ(store.get("x"), to_bytes("2"));
+  EXPECT_EQ(store.version_of("x"), 2u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStoreTest, EraseLeavesTombstoneVersion) {
+  VersionedKvStore store;
+  store.put("x", to_bytes("1"));
+  store.erase("x");
+  EXPECT_EQ(store.get("x"), std::nullopt);
+  // A reader that saw version 1 must fail MVCC after the delete.
+  EXPECT_EQ(store.version_of("x"), 2u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(KvStoreTest, EraseMissingIsNoOp) {
+  VersionedKvStore store;
+  store.erase("ghost");
+  EXPECT_EQ(store.version_of("ghost"), 0u);
+  store.put("x", to_bytes("1"));
+  store.erase("x");
+  store.erase("x");  // double delete
+  EXPECT_EQ(store.version_of("x"), 2u);
+}
+
+TEST(KvStoreTest, ReinsertAfterDeleteKeepsBumpingVersions) {
+  VersionedKvStore store;
+  store.put("x", to_bytes("1"));  // v1
+  store.erase("x");               // v2
+  store.put("x", to_bytes("3"));  // v3
+  EXPECT_EQ(store.version_of("x"), 3u);
+  EXPECT_EQ(store.get("x"), to_bytes("3"));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStoreTest, IndependentKeys) {
+  VersionedKvStore store;
+  store.put("a", to_bytes("1"));
+  store.put("b", to_bytes("2"));
+  store.put("a", to_bytes("3"));
+  EXPECT_EQ(store.version_of("a"), 2u);
+  EXPECT_EQ(store.version_of("b"), 1u);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bft::fabric

@@ -1,0 +1,46 @@
+#include "fabric/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft::fabric {
+namespace {
+
+TEST(PolicyTest, KOfN) {
+  EndorsementPolicy policy({10, 11, 12}, 2);
+  EXPECT_FALSE(policy.satisfied_by({}));
+  EXPECT_FALSE(policy.satisfied_by({10}));
+  EXPECT_TRUE(policy.satisfied_by({10, 11}));
+  EXPECT_TRUE(policy.satisfied_by({10, 11, 12}));
+}
+
+TEST(PolicyTest, NonMembersDoNotCount) {
+  EndorsementPolicy policy({10, 11, 12}, 2);
+  EXPECT_FALSE(policy.satisfied_by({10, 99}));
+  EXPECT_FALSE(policy.is_member(99));
+  EXPECT_TRUE(policy.is_member(10));
+}
+
+TEST(PolicyTest, Factories) {
+  const auto any = EndorsementPolicy::any_of({1, 2, 3});
+  EXPECT_EQ(any.required(), 1u);
+  EXPECT_TRUE(any.satisfied_by({3}));
+
+  const auto all = EndorsementPolicy::all_of({1, 2, 3});
+  EXPECT_EQ(all.required(), 3u);
+  EXPECT_FALSE(all.satisfied_by({1, 2}));
+  EXPECT_TRUE(all.satisfied_by({1, 2, 3}));
+
+  const auto majority = EndorsementPolicy::majority_of({1, 2, 3, 4});
+  EXPECT_EQ(majority.required(), 3u);
+  EXPECT_FALSE(majority.satisfied_by({1, 2}));
+  EXPECT_TRUE(majority.satisfied_by({1, 2, 4}));
+}
+
+TEST(PolicyTest, Validation) {
+  EXPECT_THROW(EndorsementPolicy({}, 1), std::invalid_argument);
+  EXPECT_THROW(EndorsementPolicy({1}, 0), std::invalid_argument);
+  EXPECT_THROW(EndorsementPolicy({1, 2}, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bft::fabric

@@ -1,0 +1,72 @@
+#include "ledger/block.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft::ledger {
+namespace {
+
+std::vector<Bytes> sample_envelopes() {
+  return {to_bytes("tx-a"), to_bytes("tx-b"), to_bytes("tx-c")};
+}
+
+TEST(BlockTest, HeaderEncodeDecodeRoundTrip) {
+  BlockHeader h;
+  h.number = 42;
+  h.previous_hash = crypto::sha256(to_bytes("prev"));
+  h.data_hash = crypto::sha256(to_bytes("data"));
+  EXPECT_EQ(BlockHeader::decode(h.encode()), h);
+}
+
+TEST(BlockTest, BlockEncodeDecodeRoundTrip) {
+  const Block b = make_block(7, genesis_hash("ch"), sample_envelopes());
+  EXPECT_EQ(Block::decode(b.encode()), b);
+}
+
+TEST(BlockTest, EmptyBlockRoundTrip) {
+  const Block b = make_block(1, genesis_hash("ch"), {});
+  const Block decoded = Block::decode(b.encode());
+  EXPECT_TRUE(decoded.envelopes.empty());
+  EXPECT_EQ(decoded.header.data_hash, compute_data_hash({}));
+}
+
+TEST(BlockTest, MakeBlockBindsDataHash) {
+  const Block b = make_block(1, genesis_hash("ch"), sample_envelopes());
+  EXPECT_EQ(b.header.data_hash, compute_data_hash(sample_envelopes()));
+}
+
+TEST(BlockTest, DataHashSensitiveToContentAndOrder) {
+  const auto base = compute_data_hash({to_bytes("a"), to_bytes("b")});
+  EXPECT_NE(compute_data_hash({to_bytes("b"), to_bytes("a")}), base);
+  EXPECT_NE(compute_data_hash({to_bytes("a")}), base);
+  EXPECT_NE(compute_data_hash({to_bytes("a"), to_bytes("b"), to_bytes("")}), base);
+  EXPECT_EQ(compute_data_hash({to_bytes("a"), to_bytes("b")}), base);
+}
+
+TEST(BlockTest, DataHashResistsBoundaryShifting) {
+  // ["ab", "c"] must differ from ["a", "bc"] (length framing).
+  EXPECT_NE(compute_data_hash({to_bytes("ab"), to_bytes("c")}),
+            compute_data_hash({to_bytes("a"), to_bytes("bc")}));
+}
+
+TEST(BlockTest, HeaderDigestDependsOnEveryField) {
+  BlockHeader h;
+  h.number = 1;
+  const auto base = h.digest();
+  BlockHeader h2 = h;
+  h2.number = 2;
+  EXPECT_NE(h2.digest(), base);
+  BlockHeader h3 = h;
+  h3.previous_hash = crypto::sha256(to_bytes("x"));
+  EXPECT_NE(h3.digest(), base);
+  BlockHeader h4 = h;
+  h4.data_hash = crypto::sha256(to_bytes("y"));
+  EXPECT_NE(h4.digest(), base);
+}
+
+TEST(BlockTest, GenesisHashPerChannel) {
+  EXPECT_NE(genesis_hash("a"), genesis_hash("b"));
+  EXPECT_EQ(genesis_hash("a"), genesis_hash("a"));
+}
+
+}  // namespace
+}  // namespace bft::ledger

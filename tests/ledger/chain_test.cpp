@@ -1,0 +1,105 @@
+#include "ledger/chain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft::ledger {
+namespace {
+
+Block next_block(const BlockStore& store, std::vector<Bytes> envelopes) {
+  return make_block(store.next_number(), store.expected_previous_hash(),
+                    std::move(envelopes));
+}
+
+TEST(ChainTest, AppendAndQuery) {
+  BlockStore store("ch");
+  EXPECT_TRUE(store.empty());
+  ASSERT_TRUE(store.append(next_block(store, {to_bytes("a")})).is_ok());
+  ASSERT_TRUE(store.append(next_block(store, {to_bytes("b")})).is_ok());
+  EXPECT_EQ(store.height(), 2u);
+  EXPECT_EQ(store.at(1).envelopes[0], to_bytes("a"));
+  EXPECT_EQ(store.tip().envelopes[0], to_bytes("b"));
+  EXPECT_TRUE(store.verify().is_ok());
+}
+
+TEST(ChainTest, FirstBlockChainsToGenesis) {
+  BlockStore store("ch");
+  Block b = make_block(1, genesis_hash("other-channel"), {to_bytes("a")});
+  EXPECT_FALSE(store.append(b).is_ok());
+  Block good = make_block(1, genesis_hash("ch"), {to_bytes("a")});
+  EXPECT_TRUE(store.append(good).is_ok());
+}
+
+TEST(ChainTest, RejectsNumberGap) {
+  BlockStore store("ch");
+  ASSERT_TRUE(store.append(next_block(store, {to_bytes("a")})).is_ok());
+  Block skip = make_block(3, store.expected_previous_hash(), {to_bytes("c")});
+  const Status s = store.append(skip);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_NE(s.error().find("block number"), std::string::npos);
+}
+
+TEST(ChainTest, RejectsBrokenLinkage) {
+  BlockStore store("ch");
+  ASSERT_TRUE(store.append(next_block(store, {to_bytes("a")})).is_ok());
+  Block bad = make_block(2, crypto::sha256(to_bytes("wrong")), {to_bytes("b")});
+  EXPECT_FALSE(store.append(bad).is_ok());
+}
+
+TEST(ChainTest, RejectsTamperedEnvelopes) {
+  BlockStore store("ch");
+  Block b = next_block(store, {to_bytes("a")});
+  b.envelopes[0] = to_bytes("tampered");  // data hash now stale
+  EXPECT_FALSE(store.append(b).is_ok());
+}
+
+TEST(ChainTest, DuplicateTipAppendIsIdempotent) {
+  BlockStore store("ch");
+  const Block b = next_block(store, {to_bytes("a")});
+  ASSERT_TRUE(store.append(b).is_ok());
+  EXPECT_TRUE(store.append(b).is_ok());
+  EXPECT_EQ(store.height(), 1u);
+}
+
+TEST(ChainTest, OutOfRangeAccessThrows) {
+  BlockStore store("ch");
+  EXPECT_THROW(store.at(0), std::out_of_range);
+  EXPECT_THROW(store.at(1), std::out_of_range);
+  EXPECT_THROW(store.tip(), std::out_of_range);
+}
+
+TEST(ChainTest, LongChainVerifies) {
+  BlockStore store("ch");
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        store.append(next_block(store, {to_bytes("tx-" + std::to_string(i))}))
+            .is_ok());
+  }
+  EXPECT_TRUE(store.verify().is_ok());
+  EXPECT_EQ(store.height(), 100u);
+}
+
+TEST(ChainTest, ForgingOneBlockBreaksAllSubsequentLinks) {
+  // The property of Figure 1: block j cannot be forged without forging
+  // j+1..i. We simulate by rebuilding a parallel store and checking the
+  // digest chain diverges permanently after the forged block.
+  BlockStore honest("ch");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        honest.append(next_block(honest, {to_bytes("tx-" + std::to_string(i))}))
+            .is_ok());
+  }
+  BlockStore forged("ch");
+  for (int i = 0; i < 5; ++i) {
+    Bytes payload = i == 2 ? to_bytes("evil") : to_bytes("tx-" + std::to_string(i));
+    ASSERT_TRUE(forged.append(next_block(forged, {payload})).is_ok());
+  }
+  // The forgery sits in block 3; every later block links differently.
+  EXPECT_NE(honest.at(3).header.data_hash, forged.at(3).header.data_hash);
+  for (std::uint64_t n = 4; n <= 5; ++n) {
+    EXPECT_NE(honest.at(n).header.previous_hash, forged.at(n).header.previous_hash)
+        << "hash chain failed to propagate the forgery at block " << n;
+  }
+}
+
+}  // namespace
+}  // namespace bft::ledger

@@ -1,0 +1,193 @@
+// Frontend unit tests: quorum-collection rules, ordering, dedup and latency
+// accounting, driven by raw pushes without a live cluster.
+#include <gtest/gtest.h>
+
+#include "ordering/deployment.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "smr/wire.hpp"
+
+namespace bft::ordering {
+namespace {
+
+using sim::kMillisecond;
+
+/// Drives a single Frontend with hand-crafted block pushes from fake nodes.
+struct FrontendHarness {
+  explicit FrontendHarness(FrontendOptions options,
+                           std::uint32_t nodes = 4)
+      : cluster(sim::make_lan(110, kMillisecond / 10, sim::NetworkConfig{}, 1), 1) {
+    std::vector<runtime::ProcessId> members;
+    for (std::uint32_t i = 0; i < nodes; ++i) members.push_back(i);
+    config = std::make_unique<smr::ClusterConfig>(
+        smr::ClusterConfig::classic(members));
+    frontend = std::make_unique<Frontend>(
+        *config, std::move(options),
+        [this](const ledger::Block& block) { delivered.push_back(block); });
+    // Fake nodes are raw senders occupying the member process ids.
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+      senders.push_back(std::make_unique<RawNode>());
+      cluster.add_process(i, senders.back().get());
+    }
+    cluster.add_process(100, frontend.get());
+  }
+
+  struct RawNode : runtime::Actor {
+    void on_message(runtime::ProcessId, ByteView) override {}
+    void on_timer(std::uint64_t) override {}
+    void push(runtime::ProcessId to, const SignedBlock& sb) {
+      env().send(to, smr::encode_push(sb.encode()));
+    }
+    void send_raw(runtime::ProcessId to, Bytes payload) {
+      env().send(to, std::move(payload));
+    }
+  };
+
+  /// Schedules a push of `block` from node `node` at time `at`.
+  void push_at(sim::SimTime at, std::uint32_t node, const ledger::Block& block,
+               const std::string& sig = "sig") {
+    RawNode* sender = senders[node].get();
+    const SignedBlock sb{"channel-0", block, to_bytes(sig)};
+    cluster.schedule_at(at, [sender, sb] { sender->push(100, sb); });
+  }
+
+  runtime::SimCluster cluster;
+  std::unique_ptr<smr::ClusterConfig> config;
+  std::unique_ptr<Frontend> frontend;
+  std::vector<std::unique_ptr<RawNode>> senders;
+  std::vector<ledger::Block> delivered;
+};
+
+ledger::Block block_n(std::uint64_t n, const crypto::Hash256& prev,
+                      const std::string& tag = "tx") {
+  return ledger::make_block(n, prev, {to_bytes(tag + std::to_string(n))});
+}
+
+TEST(FrontendTest, DeliversAt2FPlus1MatchingCopies) {
+  FrontendOptions fo;
+  fo.track_latency = false;
+  FrontendHarness h(fo);
+  const auto b1 = block_n(1, ledger::genesis_hash("channel-0"));
+  h.push_at(kMillisecond, 0, b1);
+  h.push_at(2 * kMillisecond, 1, b1);
+  h.cluster.run_until(10 * kMillisecond);
+  EXPECT_TRUE(h.delivered.empty());  // 2 < 2f+1 = 3
+  h.push_at(11 * kMillisecond, 2, b1);
+  h.cluster.run_until(20 * kMillisecond);
+  ASSERT_EQ(h.delivered.size(), 1u);
+  EXPECT_EQ(h.delivered[0], b1);
+}
+
+TEST(FrontendTest, MismatchedCopiesDoNotCount) {
+  FrontendOptions fo;
+  fo.track_latency = false;
+  FrontendHarness h(fo);
+  const auto good = block_n(1, ledger::genesis_hash("channel-0"), "good");
+  const auto evil = block_n(1, ledger::genesis_hash("channel-0"), "evil");
+  h.push_at(kMillisecond, 0, good);
+  h.push_at(kMillisecond, 1, evil);  // equivocating node
+  h.push_at(kMillisecond, 2, evil);
+  h.cluster.run_until(10 * kMillisecond);
+  EXPECT_TRUE(h.delivered.empty());
+  // A third matching copy of either variant settles it.
+  h.push_at(11 * kMillisecond, 3, evil);
+  h.cluster.run_until(20 * kMillisecond);
+  ASSERT_EQ(h.delivered.size(), 1u);
+  EXPECT_EQ(h.delivered[0], evil);
+}
+
+TEST(FrontendTest, DuplicatePushesFromSameNodeCountOnce) {
+  FrontendOptions fo;
+  fo.track_latency = false;
+  FrontendHarness h(fo);
+  const auto b1 = block_n(1, ledger::genesis_hash("channel-0"));
+  h.push_at(kMillisecond, 0, b1);
+  h.push_at(2 * kMillisecond, 0, b1);
+  h.push_at(3 * kMillisecond, 0, b1);
+  h.push_at(4 * kMillisecond, 1, b1);
+  h.cluster.run_until(10 * kMillisecond);
+  EXPECT_TRUE(h.delivered.empty());
+}
+
+TEST(FrontendTest, InOrderDeliveryHoldsBackLaterBlocks) {
+  FrontendOptions fo;
+  fo.track_latency = false;
+  FrontendHarness h(fo);
+  const auto b1 = block_n(1, ledger::genesis_hash("channel-0"));
+  const auto b2 = block_n(2, b1.header.digest());
+  // Block 2 reaches quorum first.
+  for (std::uint32_t n = 0; n < 3; ++n) h.push_at(kMillisecond, n, b2);
+  h.cluster.run_until(10 * kMillisecond);
+  EXPECT_TRUE(h.delivered.empty());
+  for (std::uint32_t n = 0; n < 3; ++n) h.push_at(11 * kMillisecond, n, b1);
+  h.cluster.run_until(20 * kMillisecond);
+  ASSERT_EQ(h.delivered.size(), 2u);
+  EXPECT_EQ(h.delivered[0].header.number, 1u);
+  EXPECT_EQ(h.delivered[1].header.number, 2u);
+}
+
+TEST(FrontendTest, VerifyingFrontendRejectsBadSignatures) {
+  auto signer = std::make_shared<StubBlockSigner>(0);
+  FrontendOptions fo;
+  fo.track_latency = false;
+  fo.verify_signatures = true;
+  fo.verifier = signer;
+  FrontendHarness h(fo);
+  const auto b1 = block_n(1, ledger::genesis_hash("channel-0"));
+  // Two garbage-signed copies never count; two honest ones (f+1=2) do.
+  h.push_at(kMillisecond, 0, b1, "garbage");
+  h.push_at(kMillisecond, 1, b1, "garbage");
+  h.cluster.run_until(10 * kMillisecond);
+  EXPECT_TRUE(h.delivered.empty());
+
+  const SignedBlock signed2{"channel-0", b1, StubBlockSigner(2).sign(b1.header.digest())};
+  const SignedBlock signed3{"channel-0", b1, StubBlockSigner(3).sign(b1.header.digest())};
+  FrontendHarness::RawNode* s2 = h.senders[2].get();
+  FrontendHarness::RawNode* s3 = h.senders[3].get();
+  h.cluster.schedule_at(11 * kMillisecond, [s2, signed2] { s2->push(100, signed2); });
+  h.cluster.schedule_at(12 * kMillisecond, [s3, signed3] { s3->push(100, signed3); });
+  h.cluster.run_until(20 * kMillisecond);
+  ASSERT_EQ(h.delivered.size(), 1u);
+}
+
+TEST(FrontendTest, RequiredCopiesOverride) {
+  FrontendOptions fo;
+  fo.track_latency = false;
+  fo.required_copies = 1;  // crash-fault trust model
+  FrontendHarness h(fo);
+  const auto b1 = block_n(1, ledger::genesis_hash("channel-0"));
+  h.push_at(kMillisecond, 2, b1);
+  h.cluster.run_until(10 * kMillisecond);
+  ASSERT_EQ(h.delivered.size(), 1u);
+}
+
+TEST(FrontendTest, PushesFromNonMembersIgnored) {
+  FrontendOptions fo;
+  fo.track_latency = false;
+  fo.required_copies = 1;
+  FrontendHarness h(fo);
+  // Sender 50 is not a cluster member.
+  FrontendHarness::RawNode outsider;
+  h.cluster.add_process(50, &outsider);
+  const SignedBlock sb{"channel-0", block_n(1, ledger::genesis_hash("channel-0")), to_bytes("s")};
+  h.cluster.schedule_at(kMillisecond, [&outsider, sb] { outsider.push(100, sb); });
+  h.cluster.run_until(10 * kMillisecond);
+  EXPECT_TRUE(h.delivered.empty());
+}
+
+TEST(FrontendTest, MalformedPushIgnored) {
+  FrontendOptions fo;
+  fo.track_latency = false;
+  fo.required_copies = 1;
+  FrontendHarness h(fo);
+  FrontendHarness::RawNode* s0 = h.senders[0].get();
+  h.cluster.schedule_at(kMillisecond, [s0] {
+    // A push frame whose payload is not a SignedBlock.
+    s0->send_raw(100, smr::encode_push(to_bytes("not-a-signed-block")));
+  });
+  h.cluster.run_until(10 * kMillisecond);
+  EXPECT_TRUE(h.delivered.empty());
+  EXPECT_EQ(h.frontend->delivered_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace bft::ordering

@@ -1,0 +1,53 @@
+#include "ordering/geo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft::ordering {
+namespace {
+
+TEST(GeoTest, PaperTopologies) {
+  const GeoTopology bft = paper_bftsmart_topology();
+  EXPECT_EQ(bft.node_regions.size(), 4u);
+  EXPECT_EQ(bft.frontend_regions.size(), 4u);
+  EXPECT_EQ(bft.node_regions[0], sim::Region::oregon);
+  EXPECT_EQ(bft.frontend_regions[0], sim::Region::canada);
+
+  const GeoTopology wheat = paper_wheat_topology();
+  EXPECT_EQ(wheat.node_regions.size(), 5u);
+  EXPECT_EQ(wheat.node_regions[4], sim::Region::virginia);
+  // Vmax nodes are the Oregon and Virginia replicas.
+  EXPECT_EQ(paper_wheat_vmax_nodes(), (std::set<runtime::ProcessId>{0, 4}));
+}
+
+TEST(GeoTest, NetworkUsesRegionalLatencies) {
+  const GeoTopology topology = paper_bftsmart_topology();
+  sim::Network net = make_geo_network(topology, 1);
+  // Node 0 (Oregon) -> node 2 (Sydney): ~80 ms one way plus wire time.
+  const auto t = net.delivery_time(0, 2, 100, 0);
+  EXPECT_GT(t, 70 * sim::kMillisecond);
+  EXPECT_LT(t, 95 * sim::kMillisecond);
+  // Frontend 2 (Virginia, process 102) -> node 4 does not exist here, but
+  // frontend 1 (Oregon, process 101) -> node 0 (Oregon) is intra-region.
+  const auto close = net.delivery_time(101, 0, 100, 0);
+  EXPECT_LT(close, 2 * sim::kMillisecond);
+}
+
+TEST(GeoTest, FrontendIdsMustNotCollideWithNodes) {
+  GeoTopology topology = paper_bftsmart_topology();
+  topology.frontend_base = 2;  // collides with node ids
+  EXPECT_THROW(make_geo_network(topology, 1), std::invalid_argument);
+}
+
+TEST(GeoTest, DistinctMachinesPerParticipant) {
+  const GeoTopology topology = paper_wheat_topology();
+  sim::Network net = make_geo_network(topology, 1);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    for (std::uint32_t j = i + 1; j < 5; ++j) {
+      EXPECT_NE(net.machine_of(i), net.machine_of(j));
+    }
+  }
+  EXPECT_NE(net.machine_of(100), net.machine_of(101));
+}
+
+}  // namespace
+}  // namespace bft::ordering

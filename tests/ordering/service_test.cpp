@@ -1,0 +1,251 @@
+// End-to-end ordering-service tests: envelopes in, signed hash-chained
+// blocks out, on both the simulated and the real runtime.
+#include <gtest/gtest.h>
+
+#include "ledger/chain.hpp"
+#include "ordering/deployment.hpp"
+#include "runtime/real_runtime.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace bft::ordering {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+struct SimService {
+  explicit SimService(ServiceOptions options, std::size_t n_frontends = 1,
+                      std::uint64_t seed = 7,
+                      std::optional<FrontendOptions> frontend_options = {})
+      : service(make_service(options)),
+        cluster(sim::make_lan(
+                    static_cast<std::uint32_t>(options.nodes.size()) + 100 +
+                        static_cast<std::uint32_t>(n_frontends),
+                    kMillisecond / 10, sim::NetworkConfig{}, seed),
+                seed) {
+    for (std::size_t i = 0; i < service.nodes.size(); ++i) {
+      cluster.add_process(service.cluster.members()[i],
+                          service.nodes[i].replica.get(), sim::CpuConfig{});
+    }
+    FrontendOptions fo = frontend_options.has_value()
+                             ? *frontend_options
+                             : make_frontend_options(service, options);
+    for (std::size_t f = 0; f < n_frontends; ++f) {
+      ledgers.push_back(std::make_unique<ledger::BlockStore>(options.channel));
+      ledger::BlockStore* store = ledgers.back().get();
+      frontends.push_back(std::make_unique<Frontend>(
+          service.cluster, fo, [store](const ledger::Block& block) {
+            ASSERT_TRUE(store->append(block).is_ok());
+          }));
+      cluster.add_process(100 + static_cast<runtime::ProcessId>(f),
+                          frontends.back().get());
+    }
+  }
+
+  void submit_at(sim::SimTime at, std::size_t frontend, Bytes envelope) {
+    Frontend* fe = frontends.at(frontend).get();
+    cluster.schedule_at(at, [fe, envelope = std::move(envelope)]() mutable {
+      fe->submit(std::move(envelope));
+    });
+  }
+
+  Service service;
+  runtime::SimCluster cluster;
+  std::vector<std::unique_ptr<Frontend>> frontends;
+  std::vector<std::unique_ptr<ledger::BlockStore>> ledgers;
+};
+
+ServiceOptions basic_options(std::uint32_t n, std::size_t block_size) {
+  ServiceOptions o;
+  for (std::uint32_t i = 0; i < n; ++i) o.nodes.push_back(i);
+  o.block_size = block_size;
+  o.replica_params.forward_timeout = runtime::msec(300);
+  o.replica_params.stop_timeout = runtime::msec(500);
+  return o;
+}
+
+Bytes envelope(int i, std::size_t size = 16) {
+  Bytes e = to_bytes("envelope-" + std::to_string(i) + ":");
+  e.resize(std::max(e.size(), size), 0x5a);
+  return e;
+}
+
+TEST(OrderingServiceTest, BlocksDeliveredAndChained) {
+  SimService s(basic_options(4, 10), 2);
+  for (int i = 0; i < 35; ++i) {
+    s.submit_at(kMillisecond + i * kMillisecond, 0, envelope(i));
+  }
+  s.cluster.run_until(3 * kSecond);
+
+  // 35 envelopes at block size 10 -> 3 full blocks; 5 remain pending.
+  for (auto& ledger : s.ledgers) {
+    EXPECT_EQ(ledger->height(), 3u);
+    EXPECT_TRUE(ledger->verify().is_ok());
+  }
+  EXPECT_EQ(s.frontends[0]->delivered_envelopes(), 30u);
+  EXPECT_EQ(s.service.nodes[0].app->envelopes_ordered(), 35u);
+  EXPECT_EQ(s.service.nodes[0].app->pending_in("channel-0"), 5u);
+  // Both frontends saw identical chains.
+  EXPECT_EQ(s.ledgers[0]->tip().header.digest(),
+            s.ledgers[1]->tip().header.digest());
+}
+
+TEST(OrderingServiceTest, EnvelopePayloadsPreservedInOrder) {
+  SimService s(basic_options(4, 5), 1);
+  for (int i = 0; i < 5; ++i) {
+    s.submit_at(kMillisecond * (i + 1), 0, envelope(i));
+  }
+  s.cluster.run_until(2 * kSecond);
+  ASSERT_EQ(s.ledgers[0]->height(), 1u);
+  const auto& envelopes = s.ledgers[0]->at(1).envelopes;
+  ASSERT_EQ(envelopes.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(envelopes[static_cast<std::size_t>(i)], envelope(i));
+  }
+}
+
+TEST(OrderingServiceTest, LatencyTrackingRecordsOwnEnvelopes) {
+  SimService s(basic_options(4, 10), 2);
+  for (int i = 0; i < 10; ++i) s.submit_at(kMillisecond, 0, envelope(i));
+  s.cluster.run_until(2 * kSecond);
+  EXPECT_EQ(s.frontends[0]->latencies().count(), 10u);
+  EXPECT_EQ(s.frontends[1]->latencies().count(), 0u);  // not its envelopes
+  EXPECT_GT(s.frontends[0]->latencies().median(), 0.0);
+  EXPECT_LT(s.frontends[0]->latencies().max(), 1000.0);
+}
+
+TEST(OrderingServiceTest, NodeCrashToleratedByQuorumCollection) {
+  SimService s(basic_options(4, 10), 1);
+  // Crash a non-leader node: frontends still gather 2f+1 = 3 matching blocks.
+  s.cluster.schedule_at(kMillisecond / 2,
+                        [&s] { s.cluster.crash(3); });
+  for (int i = 0; i < 20; ++i) s.submit_at(kMillisecond + i * kMillisecond, 0, envelope(i));
+  s.cluster.run_until(3 * kSecond);
+  EXPECT_EQ(s.ledgers[0]->height(), 2u);
+  EXPECT_TRUE(s.ledgers[0]->verify().is_ok());
+}
+
+TEST(OrderingServiceTest, LeaderCrashRecoveredByRegencyChange) {
+  SimService s(basic_options(4, 10), 1);
+  s.cluster.schedule_at(kMillisecond / 2, [&s] { s.cluster.crash(0); });
+  for (int i = 0; i < 10; ++i) {
+    s.submit_at(kSecond + i * kMillisecond, 0, envelope(i));
+  }
+  s.cluster.run_until(15 * kSecond);
+  EXPECT_EQ(s.ledgers[0]->height(), 1u);
+  EXPECT_TRUE(s.ledgers[0]->verify().is_ok());
+}
+
+TEST(OrderingServiceTest, SignatureVerifyingFrontendNeedsOnlyFPlus1) {
+  ServiceOptions options = basic_options(4, 10);
+  Service probe = make_service(options);  // to borrow a verifier
+  FrontendOptions fo;
+  fo.verify_signatures = true;
+  fo.verifier = probe.nodes.front().signer;
+  SimService s(options, 1, 7, fo);
+  // Only f+1 = 2 nodes reachable by the frontend: drop pushes from nodes 2,3.
+  s.cluster.set_filter([](runtime::ProcessId from, runtime::ProcessId to,
+                          ByteView) {
+    if ((from == 2 || from == 3) && to >= 100) return runtime::FilterAction::drop;
+    return runtime::FilterAction::deliver;
+  });
+  for (int i = 0; i < 10; ++i) s.submit_at(kMillisecond, 0, envelope(i));
+  s.cluster.run_until(3 * kSecond);
+  EXPECT_EQ(s.ledgers[0]->height(), 1u);
+}
+
+TEST(OrderingServiceTest, NonVerifyingFrontendNeeds2FPlus1) {
+  SimService s(basic_options(4, 10), 1);
+  // Only 2 nodes reach the frontend: 2 < 2f+1 = 3, nothing may deliver.
+  s.cluster.set_filter([](runtime::ProcessId from, runtime::ProcessId to,
+                          ByteView) {
+    if ((from == 2 || from == 3) && to >= 100) return runtime::FilterAction::drop;
+    return runtime::FilterAction::deliver;
+  });
+  for (int i = 0; i < 10; ++i) s.submit_at(kMillisecond, 0, envelope(i));
+  s.cluster.run_until(3 * kSecond);
+  EXPECT_EQ(s.ledgers[0]->height(), 0u);
+}
+
+TEST(OrderingServiceTest, WheatClusterDeliversWithWeightedQuorum) {
+  ServiceOptions options = basic_options(5, 10);
+  options.nodes = {0, 1, 2, 3, 4};
+  options.vmax_nodes = {0, 1};
+  options.replica_params.tentative_execution = true;
+  SimService s(options, 2);
+  for (int i = 0; i < 30; ++i) {
+    s.submit_at(kMillisecond + i * kMillisecond, i % 2, envelope(i));
+  }
+  s.cluster.run_until(3 * kSecond);
+  for (auto& ledger : s.ledgers) {
+    EXPECT_EQ(ledger->height(), 3u);
+    EXPECT_TRUE(ledger->verify().is_ok());
+  }
+}
+
+TEST(OrderingServiceTest, StubAndEcdsaSignersProduceIdenticalChains) {
+  auto run = [](bool stub) {
+    ServiceOptions options = basic_options(4, 10);
+    options.stub_signatures = stub;
+    SimService s(options, 1);
+    for (int i = 0; i < 20; ++i) s.submit_at(kMillisecond + i * kMillisecond, 0, envelope(i));
+    s.cluster.run_until(3 * kSecond);
+    return s.ledgers[0]->tip().header.digest();
+  };
+  // Signature backend must not influence block content (only who signs).
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(OrderingServiceTest, TenNodeClusterWithManyReceivers) {
+  SimService s(basic_options(10, 10), 8);
+  for (int i = 0; i < 20; ++i) s.submit_at(kMillisecond + i * kMillisecond, 0, envelope(i));
+  s.cluster.run_until(3 * kSecond);
+  for (auto& ledger : s.ledgers) {
+    EXPECT_EQ(ledger->height(), 2u);
+    EXPECT_TRUE(ledger->verify().is_ok());
+  }
+}
+
+TEST(OrderingServiceTest, DoubleSignModeStillDelivers) {
+  ServiceOptions options = basic_options(4, 10);
+  options.double_sign = true;
+  SimService s(options, 1);
+  for (int i = 0; i < 10; ++i) s.submit_at(kMillisecond, 0, envelope(i));
+  s.cluster.run_until(3 * kSecond);
+  EXPECT_EQ(s.ledgers[0]->height(), 1u);
+}
+
+TEST(OrderingServiceTest, RealRuntimeEndToEnd) {
+  ServiceOptions options = basic_options(4, 5);
+  Service service = make_service(options);
+
+  runtime::RealCluster cluster;
+  for (std::size_t i = 0; i < service.nodes.size(); ++i) {
+    cluster.add_process(service.cluster.members()[i],
+                        service.nodes[i].replica.get(), /*workers=*/2);
+  }
+  ledger::BlockStore store("channel-0");
+  std::atomic<int> delivered{0};
+  Frontend frontend(service.cluster, make_frontend_options(service, options),
+                    [&](const ledger::Block& block) {
+                      ASSERT_TRUE(store.append(block).is_ok());
+                      delivered.fetch_add(1);
+                    });
+  cluster.add_process(100, &frontend);
+  cluster.start();
+  cluster.post(100, [&frontend] {
+    for (int i = 0; i < 10; ++i) {
+      frontend.submit(to_bytes("real-tx-" + std::to_string(i)));
+    }
+  });
+  for (int spins = 0; spins < 400 && delivered.load() < 2; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  cluster.stop();
+  EXPECT_EQ(delivered.load(), 2);
+  EXPECT_TRUE(store.verify().is_ok());
+  EXPECT_EQ(store.at(1).envelopes.size(), 5u);
+}
+
+}  // namespace
+}  // namespace bft::ordering

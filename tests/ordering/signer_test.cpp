@@ -1,0 +1,70 @@
+#include "ordering/signer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft::ordering {
+namespace {
+
+const crypto::Hash256 kDigest = crypto::sha256(to_bytes("block-header"));
+
+TEST(SignerTest, EcdsaSignVerifyRoundTrip) {
+  EcdsaBlockSigner signer(3);
+  const Bytes sig = signer.sign(kDigest);
+  EXPECT_TRUE(signer.verify(3, kDigest, sig));
+}
+
+TEST(SignerTest, EcdsaRejectsWrongNode) {
+  EcdsaBlockSigner signer(3);
+  const Bytes sig = signer.sign(kDigest);
+  EXPECT_FALSE(signer.verify(4, kDigest, sig));
+}
+
+TEST(SignerTest, EcdsaRejectsWrongDigest) {
+  EcdsaBlockSigner signer(3);
+  const Bytes sig = signer.sign(kDigest);
+  EXPECT_FALSE(signer.verify(3, crypto::sha256(to_bytes("other")), sig));
+}
+
+TEST(SignerTest, EcdsaRejectsGarbageSignature) {
+  EcdsaBlockSigner signer(3);
+  EXPECT_FALSE(signer.verify(3, kDigest, Bytes(64, 0)));
+  EXPECT_FALSE(signer.verify(3, kDigest, Bytes{1, 2, 3}));
+}
+
+TEST(SignerTest, StubSignVerifyRoundTrip) {
+  StubBlockSigner signer(3);
+  const Bytes sig = signer.sign(kDigest);
+  EXPECT_TRUE(signer.verify(3, kDigest, sig));
+  EXPECT_FALSE(signer.verify(4, kDigest, sig));
+  EXPECT_FALSE(signer.verify(3, crypto::sha256(to_bytes("other")), sig));
+}
+
+TEST(SignerTest, StubVerifierChecksAnyNode) {
+  // One verifier instance can check every node's signatures (frontends hold
+  // a single verifier).
+  StubBlockSigner node5(5);
+  StubBlockSigner verifier(0);
+  EXPECT_TRUE(verifier.verify(5, kDigest, node5.sign(kDigest)));
+}
+
+TEST(SignerTest, EcdsaVerifierChecksAnyNode) {
+  EcdsaBlockSigner node5(5);
+  EcdsaBlockSigner verifier(0);
+  EXPECT_TRUE(verifier.verify(5, kDigest, node5.sign(kDigest)));
+}
+
+TEST(SignerTest, CostHintConfigurable) {
+  StubBlockSigner cheap(1, runtime::usec(10));
+  EXPECT_EQ(cheap.cost_hint(), runtime::usec(10));
+  EcdsaBlockSigner calibrated(1);
+  EXPECT_EQ(calibrated.cost_hint(), runtime::usec(1905));
+}
+
+TEST(SignerTest, SignaturesAreDeterministic) {
+  EcdsaBlockSigner a(7);
+  EcdsaBlockSigner b(7);
+  EXPECT_EQ(a.sign(kDigest), b.sign(kDigest));
+}
+
+}  // namespace
+}  // namespace bft::ordering

@@ -1,0 +1,277 @@
+// Exercises both runtimes through the same actors, checking the semantics
+// protocol code depends on: FIFO per pair, timers, work offload, crash.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "runtime/real_runtime.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace bft::runtime {
+namespace {
+
+using sim::kMillisecond;
+
+/// Replies "pong:<n>" to every "ping:<n>".
+class Ponger : public Actor {
+ public:
+  void on_message(ProcessId from, ByteView payload) override {
+    std::string text = to_string(payload);
+    if (text.rfind("ping:", 0) == 0) {
+      env().send(from, to_bytes("pong:" + text.substr(5)));
+    }
+  }
+  void on_timer(std::uint64_t) override {}
+};
+
+/// Sends `count` pings on start and records replies.
+class Pinger : public Actor {
+ public:
+  Pinger(ProcessId peer, int count) : peer_(peer), count_(count) {}
+
+  void on_start(Env& env) override {
+    Actor::on_start(env);
+    for (int i = 0; i < count_; ++i) {
+      env.send(peer_, to_bytes("ping:" + std::to_string(i)));
+    }
+  }
+  void on_message(ProcessId, ByteView payload) override {
+    replies_.push_back(to_string(payload));
+  }
+  void on_timer(std::uint64_t) override {}
+
+  const std::vector<std::string>& replies() const { return replies_; }
+
+ private:
+  ProcessId peer_;
+  int count_;
+  std::vector<std::string> replies_;
+};
+
+TEST(SimRuntimeTest, PingPongFifoOrder) {
+  SimCluster cluster(sim::make_lan(2, kMillisecond, {}, 1), 42);
+  Pinger pinger(1, 5);
+  Ponger ponger;
+  cluster.add_process(0, &pinger);
+  cluster.add_process(1, &ponger);
+  cluster.run_until(sim::kSecond);
+  ASSERT_EQ(pinger.replies().size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(pinger.replies()[static_cast<std::size_t>(i)],
+              "pong:" + std::to_string(i));
+  }
+}
+
+TEST(SimRuntimeTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    SimCluster cluster(sim::make_lan(2, kMillisecond, {}, 9), 7);
+    Pinger pinger(1, 20);
+    Ponger ponger;
+    cluster.add_process(0, &pinger);
+    cluster.add_process(1, &ponger);
+    cluster.run_until(sim::kSecond);
+    return cluster.executed_events();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+class TimerActor : public Actor {
+ public:
+  void on_start(Env& env) override {
+    Actor::on_start(env);
+    keep_ = env.set_timer(msec(10));
+    cancelled_ = env.set_timer(msec(10));
+    env.cancel_timer(cancelled_);
+  }
+  void on_message(ProcessId, ByteView) override {}
+  void on_timer(std::uint64_t id) override { fired_.push_back(id); }
+
+  std::uint64_t keep_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::vector<std::uint64_t> fired_;
+};
+
+TEST(SimRuntimeTest, TimersFireAndCancel) {
+  SimCluster cluster(sim::make_lan(1, 0, {}, 1), 1);
+  TimerActor actor;
+  cluster.add_process(0, &actor);
+  cluster.run_until(sim::kSecond);
+  ASSERT_EQ(actor.fired_.size(), 1u);
+  EXPECT_EQ(actor.fired_[0], actor.keep_);
+}
+
+class Worker : public Actor {
+ public:
+  void on_start(Env& env) override {
+    Actor::on_start(env);
+    start_time_ = env.now();
+    env.submit_work(
+        msec(5), [] { return to_bytes("result"); },
+        [this](Bytes r) {
+          result_ = to_string(r);
+          done_time_ = this->env().now();
+        });
+  }
+  void on_message(ProcessId, ByteView) override {}
+  void on_timer(std::uint64_t) override {}
+
+  std::string result_;
+  TimePoint start_time_ = 0;
+  TimePoint done_time_ = 0;
+};
+
+TEST(SimRuntimeTest, SubmitWorkTakesModelledTime) {
+  SimCluster cluster(sim::make_lan(1, 0, {}, 1), 1);
+  Worker actor;
+  cluster.add_process(0, &actor, sim::CpuConfig{});
+  cluster.run_until(sim::kSecond);
+  EXPECT_EQ(actor.result_, "result");
+  EXPECT_GE(actor.done_time_ - actor.start_time_, msec(5));
+}
+
+TEST(SimRuntimeTest, CrashStopsDelivery) {
+  SimCluster cluster(sim::make_lan(2, kMillisecond, {}, 1), 1);
+  Pinger pinger(1, 3);
+  Ponger ponger;
+  cluster.add_process(0, &pinger);
+  cluster.add_process(1, &ponger);
+  cluster.crash(1);
+  cluster.run_until(sim::kSecond);
+  EXPECT_TRUE(pinger.replies().empty());
+}
+
+TEST(SimRuntimeTest, FilterDropsMatchingMessages) {
+  SimCluster cluster(sim::make_lan(2, kMillisecond, {}, 1), 1);
+  Pinger pinger(1, 4);
+  Ponger ponger;
+  cluster.add_process(0, &pinger);
+  cluster.add_process(1, &ponger);
+  // Drop everything node 1 sends: pings arrive, pongs do not.
+  cluster.set_filter([](ProcessId from, ProcessId, ByteView) {
+    return from == 1 ? FilterAction::drop : FilterAction::deliver;
+  });
+  cluster.run_until(sim::kSecond);
+  EXPECT_TRUE(pinger.replies().empty());
+}
+
+TEST(SimRuntimeTest, ChargeCpuAdvancesLogicalTime) {
+  class Charger : public Actor {
+   public:
+    void on_start(Env& env) override {
+      Actor::on_start(env);
+      before_ = env.now();
+      env.charge_cpu(msec(3));
+      after_ = env.now();
+    }
+    void on_message(ProcessId, ByteView) override {}
+    void on_timer(std::uint64_t) override {}
+    TimePoint before_ = 0, after_ = 0;
+  };
+  SimCluster cluster(sim::make_lan(1, 0, {}, 1), 1);
+  Charger actor;
+  cluster.add_process(0, &actor, sim::CpuConfig{});
+  cluster.run_until(kMillisecond);
+  EXPECT_EQ(actor.after_ - actor.before_, msec(3));
+}
+
+TEST(SimRuntimeTest, DuplicateProcessRejected) {
+  SimCluster cluster(sim::make_lan(2, 0, {}, 1), 1);
+  Ponger a;
+  cluster.add_process(0, &a);
+  EXPECT_THROW(cluster.add_process(0, &a), std::invalid_argument);
+  EXPECT_THROW(cluster.add_process(1, nullptr), std::invalid_argument);
+}
+
+// ---- Real runtime: the same actors on actual threads. ----
+
+TEST(RealRuntimeTest, PingPongFifoOrder) {
+  RealCluster cluster;
+  Pinger pinger(1, 5);
+  Ponger ponger;
+  cluster.add_process(0, &pinger);
+  cluster.add_process(1, &ponger);
+  cluster.start();
+  for (int attempt = 0; attempt < 200 && pinger.replies().size() < 5; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  cluster.stop();
+  ASSERT_EQ(pinger.replies().size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(pinger.replies()[static_cast<std::size_t>(i)],
+              "pong:" + std::to_string(i));
+  }
+}
+
+TEST(RealRuntimeTest, TimersFireAndCancel) {
+  RealCluster cluster;
+  TimerActor actor;
+  cluster.add_process(0, &actor);
+  cluster.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  cluster.stop();
+  ASSERT_EQ(actor.fired_.size(), 1u);
+  EXPECT_EQ(actor.fired_[0], actor.keep_);
+}
+
+TEST(RealRuntimeTest, SubmitWorkDeliversResultOnLoop) {
+  RealCluster cluster;
+  Worker actor;
+  cluster.add_process(0, &actor);
+  cluster.start();
+  for (int attempt = 0; attempt < 200 && actor.result_.empty(); ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  cluster.stop();
+  EXPECT_EQ(actor.result_, "result");
+}
+
+TEST(RealRuntimeTest, CrashStopsDelivery) {
+  RealCluster cluster;
+  Pinger pinger(1, 3);
+  Ponger ponger;
+  cluster.add_process(0, &pinger);
+  cluster.add_process(1, &ponger);
+  cluster.crash(1);
+  cluster.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  cluster.stop();
+  EXPECT_TRUE(pinger.replies().empty());
+}
+
+TEST(RealRuntimeTest, SendExternalInjectsMessages) {
+  RealCluster cluster;
+  Ponger ponger;
+  Pinger sink(1, 0);
+  cluster.add_process(1, &ponger);
+  cluster.add_process(0, &sink);
+  cluster.start();
+  cluster.send_external(0, 1, to_bytes("ping:99"));
+  for (int attempt = 0; attempt < 200 && sink.replies().empty(); ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  cluster.stop();
+  ASSERT_EQ(sink.replies().size(), 1u);
+  EXPECT_EQ(sink.replies()[0], "pong:99");
+}
+
+TEST(RealRuntimeTest, StopIsIdempotent) {
+  RealCluster cluster;
+  Ponger ponger;
+  cluster.add_process(0, &ponger);
+  cluster.start();
+  cluster.stop();
+  cluster.stop();
+}
+
+TEST(RealRuntimeTest, AddAfterStartThrows) {
+  RealCluster cluster;
+  Ponger ponger;
+  cluster.add_process(0, &ponger);
+  cluster.start();
+  Ponger other;
+  EXPECT_THROW(cluster.add_process(1, &other), std::logic_error);
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace bft::runtime

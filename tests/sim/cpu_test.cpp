@@ -1,0 +1,93 @@
+#include "sim/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft::sim {
+namespace {
+
+CpuConfig one_worker() {
+  CpuConfig c;
+  c.worker_threads = 1;
+  c.contention_beta = 0.0;
+  return c;
+}
+
+TEST(CpuModelTest, ProtocolJobsSerialize) {
+  CpuModel cpu(one_worker());
+  EXPECT_EQ(cpu.run_protocol_job(0, 100), 100);
+  EXPECT_EQ(cpu.run_protocol_job(0, 100), 200);   // queues behind the first
+  EXPECT_EQ(cpu.run_protocol_job(500, 100), 600);  // idle gap then run
+}
+
+TEST(CpuModelTest, WorkerPoolRunsInParallel) {
+  CpuConfig c;
+  c.worker_threads = 2;
+  c.contention_beta = 0.0;
+  CpuModel cpu(c);
+  EXPECT_EQ(cpu.run_worker_job(0, 1000), 1000);
+  EXPECT_EQ(cpu.run_worker_job(0, 1000), 1000);  // second worker
+  EXPECT_EQ(cpu.run_worker_job(0, 1000), 2000);  // queues
+}
+
+TEST(CpuModelTest, ContentionInflatesWorkerJobs) {
+  CpuConfig c;
+  c.worker_threads = 1;
+  c.contention_beta = 1.0;
+  c.utilization_alpha = 1.0;  // utilization == last busy fraction
+  CpuModel cpu(c);
+  // Saturate the protocol thread: back-to-back jobs -> utilization 1.
+  cpu.run_protocol_job(0, 1000);
+  cpu.run_protocol_job(0, 1000);
+  EXPECT_DOUBLE_EQ(cpu.protocol_utilization(), 1.0);
+  // Worker job now takes twice as long.
+  EXPECT_EQ(cpu.run_worker_job(2000, 1000), 4000);
+}
+
+TEST(CpuModelTest, IdleProtocolMeansNoInflation) {
+  CpuConfig c;
+  c.worker_threads = 1;
+  c.contention_beta = 1.0;
+  CpuModel cpu(c);
+  EXPECT_EQ(cpu.run_worker_job(0, 1000), 1000);
+}
+
+TEST(CpuModelTest, UtilizationDecaysWhenIdle) {
+  CpuConfig c;
+  c.worker_threads = 1;
+  c.utilization_alpha = 0.5;
+  CpuModel cpu(c);
+  cpu.run_protocol_job(0, 1000);
+  cpu.run_protocol_job(1000, 1000);  // back to back: busy fraction 1
+  const double busy_util = cpu.protocol_utilization();
+  // Long idle gap then a tiny job: utilization must drop.
+  cpu.run_protocol_job(1000000, 10);
+  EXPECT_LT(cpu.protocol_utilization(), busy_util);
+}
+
+TEST(CpuModelTest, ZeroWorkersRejected) {
+  CpuConfig c;
+  c.worker_threads = 0;
+  EXPECT_THROW(CpuModel cpu(c), std::invalid_argument);
+}
+
+TEST(CpuModelTest, PaperCalibrationSigningRate) {
+  // With 16 workers and 1.905 ms per signature, an idle-protocol node signs
+  // ~8400 blocks/s — the Figure 6 peak.
+  CpuConfig c;
+  c.worker_threads = 16;
+  c.contention_beta = 0.8;
+  CpuModel cpu(c);
+  const SimTime sign_cost = static_cast<SimTime>(1.905 * kMillisecond);
+  SimTime now = 0;
+  SimTime last_done = 0;
+  const int jobs = 8400;
+  for (int i = 0; i < jobs; ++i) {
+    last_done = std::max(last_done, cpu.run_worker_job(now, sign_cost));
+  }
+  const double seconds = static_cast<double>(last_done) / kSecond;
+  const double rate = jobs / seconds;
+  EXPECT_NEAR(rate, 8400.0, 200.0);
+}
+
+}  // namespace
+}  // namespace bft::sim

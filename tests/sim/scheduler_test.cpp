@@ -1,0 +1,83 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft::sim {
+namespace {
+
+TEST(SchedulerTest, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(SchedulerTest, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(5, [&] { order.push_back(1); });
+  s.schedule_at(5, [&] { order.push_back(2); });
+  s.schedule_at(5, [&] { order.push_back(3); });
+  s.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, EventsCanScheduleEvents) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(1, [&] {
+    s.schedule_after(1, [&] { ++fired; });
+  });
+  s.run_to_completion();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 2);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(10, [&] { ++fired; });
+  s.schedule_at(100, [&] { ++fired; });
+  s.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 50);
+  s.run_until(100);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerTest, DeadlineEventsIncluded) {
+  Scheduler s;
+  bool fired = false;
+  s.schedule_at(50, [&] { fired = true; });
+  s.run_until(50);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SchedulerTest, PastSchedulingThrows) {
+  Scheduler s;
+  s.schedule_at(10, [] {});
+  s.run_to_completion();
+  EXPECT_THROW(s.schedule_at(5, [] {}), std::invalid_argument);
+}
+
+TEST(SchedulerTest, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.schedule_at(1, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(s.executed_events(), 1u);
+}
+
+TEST(SchedulerTest, TimeUnits) {
+  EXPECT_EQ(kMicrosecond, 1000);
+  EXPECT_EQ(kMillisecond, 1000 * 1000);
+  EXPECT_EQ(kSecond, 1000 * 1000 * 1000);
+}
+
+}  // namespace
+}  // namespace bft::sim

@@ -1,0 +1,55 @@
+#include "sim/wan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft::sim {
+namespace {
+
+TEST(WanTest, Symmetry) {
+  for (std::size_t a = 0; a < kRegionCount; ++a) {
+    for (std::size_t b = 0; b < kRegionCount; ++b) {
+      EXPECT_EQ(one_way_latency(static_cast<Region>(a), static_cast<Region>(b)),
+                one_way_latency(static_cast<Region>(b), static_cast<Region>(a)));
+    }
+  }
+}
+
+TEST(WanTest, IntraRegionIsFast) {
+  EXPECT_LT(one_way_latency(Region::oregon, Region::oregon), kMillisecond);
+}
+
+TEST(WanTest, GeographyIsSane) {
+  // Virginia-Canada is the closest pair; Sydney-Sao Paulo the farthest.
+  const SimTime va_ca = one_way_latency(Region::virginia, Region::canada);
+  const SimTime syd_sp = one_way_latency(Region::sydney, Region::sao_paulo);
+  EXPECT_LT(va_ca, one_way_latency(Region::oregon, Region::ireland));
+  EXPECT_GT(syd_sp, one_way_latency(Region::oregon, Region::sao_paulo));
+  // Known ballparks.
+  EXPECT_EQ(va_ca, 10 * kMillisecond);
+  EXPECT_EQ(one_way_latency(Region::oregon, Region::virginia),
+            35 * kMillisecond);
+}
+
+TEST(WanTest, MatrixMatchesPairwiseLatency) {
+  const std::vector<Region> deployment = {Region::oregon, Region::ireland,
+                                          Region::sydney, Region::sao_paulo};
+  const auto matrix = wan_latency_matrix(deployment);
+  ASSERT_EQ(matrix.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(matrix[i][i], 0);
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i != j) {
+        EXPECT_EQ(matrix[i][j], one_way_latency(deployment[i], deployment[j]));
+      }
+    }
+  }
+}
+
+TEST(WanTest, RegionNames) {
+  EXPECT_EQ(region_name(Region::oregon), "Oregon");
+  EXPECT_EQ(region_name(Region::sao_paulo), "SaoPaulo");
+  EXPECT_EQ(region_name(Region::canada), "Canada");
+}
+
+}  // namespace
+}  // namespace bft::sim

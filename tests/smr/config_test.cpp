@@ -1,0 +1,95 @@
+#include "smr/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft::smr {
+namespace {
+
+TEST(ClusterConfigTest, ClassicBasics) {
+  const auto cfg = ClusterConfig::classic({3, 1, 7, 5});
+  EXPECT_EQ(cfg.n(), 4u);
+  EXPECT_EQ(cfg.members(), (std::vector<runtime::ProcessId>{1, 3, 5, 7}));
+  EXPECT_TRUE(cfg.contains(5));
+  EXPECT_FALSE(cfg.contains(4));
+  EXPECT_EQ(cfg.index_of(1), 0u);
+  EXPECT_EQ(cfg.index_of(7), 3u);
+  EXPECT_EQ(cfg.member_at(2), 5u);
+  EXPECT_THROW(cfg.index_of(42), std::out_of_range);
+}
+
+TEST(ClusterConfigTest, LeaderRotation) {
+  const auto cfg = ClusterConfig::classic({0, 1, 2, 3});
+  EXPECT_EQ(cfg.leader(0), 0u);
+  EXPECT_EQ(cfg.leader(1), 1u);
+  EXPECT_EQ(cfg.leader(4), 0u);
+  EXPECT_EQ(cfg.leader(7), 3u);
+}
+
+TEST(ClusterConfigTest, DuplicateMembersRejected) {
+  EXPECT_THROW(ClusterConfig::classic({0, 1, 1, 2}), std::invalid_argument);
+}
+
+TEST(ClusterConfigTest, WheatWeights) {
+  const auto cfg = ClusterConfig::wheat({10, 20, 30, 40, 50}, {10, 50});
+  EXPECT_TRUE(cfg.is_wheat());
+  const auto& q = cfg.quorums();
+  EXPECT_EQ(q.weight_of(cfg.index_of(10)), 2u);
+  EXPECT_EQ(q.weight_of(cfg.index_of(50)), 2u);
+  EXPECT_EQ(q.weight_of(cfg.index_of(30)), 1u);
+  EXPECT_EQ(q.quorum_weight(), 5u);
+}
+
+TEST(ClusterConfigTest, WheatRequiresMemberVmax) {
+  EXPECT_THROW(ClusterConfig::wheat({0, 1, 2, 3, 4}, {0, 9}),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterConfig::wheat({0, 1, 2, 3, 4}, {0}),
+               std::invalid_argument);
+}
+
+TEST(ClusterConfigTest, AddRemoveMembers) {
+  const auto cfg = ClusterConfig::classic({0, 1, 2, 3});
+  const auto grown = cfg.with_member_added(4);
+  EXPECT_EQ(grown.n(), 5u);
+  EXPECT_TRUE(grown.contains(4));
+  EXPECT_THROW(cfg.with_member_added(2), std::invalid_argument);
+
+  const auto shrunk = grown.with_member_removed(0);
+  EXPECT_EQ(shrunk.n(), 4u);
+  EXPECT_FALSE(shrunk.contains(0));
+  EXPECT_THROW(cfg.with_member_removed(9), std::invalid_argument);
+}
+
+TEST(ClusterConfigTest, RemovingVmaxMemberFallsBackToClassic) {
+  const auto cfg = ClusterConfig::wheat({0, 1, 2, 3, 4}, {0, 4});
+  const auto shrunk = cfg.with_member_removed(4);
+  EXPECT_FALSE(shrunk.is_wheat());
+  EXPECT_EQ(shrunk.n(), 4u);
+  // Removing a Vmin member keeps WHEAT weights.
+  const auto still_wheat = cfg.with_member_removed(2);
+  EXPECT_TRUE(still_wheat.is_wheat());
+}
+
+TEST(ClusterConfigTest, EncodeDecodeRoundTrip) {
+  const auto classic = ClusterConfig::classic({0, 1, 2, 3});
+  EXPECT_EQ(ClusterConfig::decode(classic.encode()), classic);
+
+  const auto wheat = ClusterConfig::wheat({0, 1, 2, 3, 4}, {1, 3});
+  const auto decoded = ClusterConfig::decode(wheat.encode());
+  EXPECT_EQ(decoded, wheat);
+  EXPECT_TRUE(decoded.is_wheat());
+  EXPECT_EQ(decoded.quorums().quorum_weight(), wheat.quorums().quorum_weight());
+}
+
+TEST(ClusterConfigTest, IndexStabilityAcrossReplicas) {
+  // Two replicas constructing from the same member set derive the same
+  // indices regardless of insertion order.
+  const auto a = ClusterConfig::classic({9, 4, 6, 2});
+  const auto b = ClusterConfig::classic({2, 6, 4, 9});
+  EXPECT_EQ(a.members(), b.members());
+  for (runtime::ProcessId p : a.members()) {
+    EXPECT_EQ(a.index_of(p), b.index_of(p));
+  }
+}
+
+}  // namespace
+}  // namespace bft::smr

@@ -1,0 +1,154 @@
+// Shared fixtures for SMR-layer tests: a deterministic counter state machine
+// (with an order-sensitive history digest) and a simulated-cluster harness.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "smr/client.hpp"
+#include "smr/replica.hpp"
+
+namespace bft::smr::testing {
+
+/// Adds the u64 in each request payload to a counter and chains a digest of
+/// every executed payload, so two replicas with equal history digests are
+/// guaranteed to have executed the same requests in the same order.
+class CounterMachine : public StateMachine {
+ public:
+  Bytes execute(const Request& request, const ExecutionContext& ctx) override {
+    (void)ctx;
+    std::uint64_t delta = 1;
+    if (request.payload.size() == 8) {
+      Reader r(request.payload);
+      delta = r.u64();
+    }
+    value_ += delta;
+    Bytes chained = crypto::hash_bytes(history_);
+    append(chained, request.payload);
+    history_ = crypto::sha256(chained);
+
+    Writer w;
+    w.u64(value_);
+    return std::move(w).take();
+  }
+
+  Bytes snapshot() const override {
+    Writer w;
+    w.u64(value_);
+    w.raw(ByteView(history_.data(), history_.size()));
+    return std::move(w).take();
+  }
+
+  void restore(ByteView snapshot) override {
+    Reader r(snapshot);
+    value_ = r.u64();
+    history_ = crypto::hash_from_bytes(r.raw(32));
+    r.expect_done();
+  }
+
+  std::uint64_t value() const { return value_; }
+  const crypto::Hash256& history() const { return history_; }
+
+ private:
+  std::uint64_t value_ = 0;
+  crypto::Hash256 history_{};
+};
+
+inline Bytes delta_payload(std::uint64_t delta) {
+  Writer w;
+  w.u64(delta);
+  return std::move(w).take();
+}
+
+/// Injects raw wire messages from a dedicated process (Byzantine tests,
+/// duplicate injection).
+class RawSender : public runtime::Actor {
+ public:
+  void on_message(runtime::ProcessId, ByteView) override {}
+  void on_timer(std::uint64_t) override {}
+  void send_raw(runtime::ProcessId to, Bytes payload) {
+    env().send(to, std::move(payload));
+  }
+};
+
+/// A simulated LAN deployment: replicas at processes [0, n), clients from
+/// 100, a RawSender at 99.
+struct SimHarness {
+  static constexpr runtime::ProcessId kClientBase = 100;
+  static constexpr runtime::ProcessId kRawSenderId = 99;
+
+  SimHarness(std::uint32_t n_replicas, std::uint32_t n_clients,
+             ReplicaParams params, ClusterConfig cluster_config,
+             std::uint64_t seed = 7,
+             std::optional<Client::Params> client_params_opt = std::nullopt)
+      : config(std::move(cluster_config)),
+        cluster(sim::make_lan(kClientBase + n_clients, sim::kMillisecond / 10,
+                              sim::NetworkConfig{}, seed),
+                seed) {
+    Client::Params client_params;
+    client_params.tentative = params.tentative_execution;
+    if (client_params_opt) client_params = *client_params_opt;
+    cluster.add_process(kRawSenderId, &raw_sender);
+    for (std::uint32_t i = 0; i < n_replicas; ++i) {
+      machines.push_back(std::make_unique<CounterMachine>());
+      replicas.push_back(std::make_unique<Replica>(i, config, params,
+                                                   machines.back().get()));
+      cluster.add_process(i, replicas.back().get(), sim::CpuConfig{});
+    }
+    for (std::uint32_t c = 0; c < n_clients; ++c) {
+      clients.push_back(std::make_unique<Client>(config, client_params));
+      cluster.add_process(kClientBase + c, clients.back().get());
+    }
+  }
+
+  SimHarness(std::uint32_t n_replicas, std::uint32_t n_clients,
+             ReplicaParams params, std::uint64_t seed = 7)
+      : SimHarness(n_replicas, n_clients, params,
+                   make_classic_config(n_replicas), seed) {}
+
+  static ClusterConfig make_classic_config(std::uint32_t n) {
+    std::vector<runtime::ProcessId> members(n);
+    for (std::uint32_t i = 0; i < n; ++i) members[i] = i;
+    return ClusterConfig::classic(std::move(members));
+  }
+
+  /// Schedules a raw wire message (from process 99) at simulated time `at`.
+  void send_raw_at(sim::SimTime at, runtime::ProcessId to, Bytes payload) {
+    cluster.schedule_at(at, [this, to, payload = std::move(payload)]() mutable {
+      raw_sender.send_raw(to, std::move(payload));
+    });
+  }
+
+  /// Schedules a tracked invocation from client `c` at simulated time `at`.
+  void invoke_at(sim::SimTime at, std::size_t c, Bytes payload,
+                 Client::ReplyCallback cb = nullptr) {
+    Client* client = clients.at(c).get();
+    cluster.schedule_at(at, [client, payload = std::move(payload),
+                             cb = std::move(cb)]() mutable {
+      client->invoke(std::move(payload), std::move(cb));
+    });
+  }
+
+  /// All replicas in `which` report equal counter values and history digests.
+  bool replicas_agree(const std::vector<std::size_t>& which) const {
+    for (std::size_t i = 1; i < which.size(); ++i) {
+      if (machines[which[i]]->value() != machines[which[0]]->value()) return false;
+      if (!(machines[which[i]]->history() == machines[which[0]]->history())) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  ClusterConfig config;
+  RawSender raw_sender;
+  runtime::SimCluster cluster;
+  std::vector<std::unique_ptr<CounterMachine>> machines;
+  std::vector<std::unique_ptr<Replica>> replicas;
+  std::vector<std::unique_ptr<Client>> clients;
+};
+
+}  // namespace bft::smr::testing

@@ -1,0 +1,228 @@
+#include "smr/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "smr/replica.hpp"  // ReconfigOp helpers
+
+namespace bft::smr {
+namespace {
+
+Request sample_request() {
+  Request r;
+  r.client = 101;
+  r.seq = 7;
+  r.kind = RequestKind::application;
+  r.payload = to_bytes("envelope-bytes");
+  return r;
+}
+
+TEST(WireTest, RequestRoundTrip) {
+  const Request r = sample_request();
+  const Bytes encoded = encode_request(r);
+  EXPECT_EQ(peek_kind(encoded), MsgKind::request);
+  EXPECT_EQ(decode_request(encoded), r);
+}
+
+TEST(WireTest, ForwardRoundTrip) {
+  const Request r = sample_request();
+  EXPECT_EQ(decode_forward(encode_forward(r)), r);
+  EXPECT_THROW(decode_request(encode_forward(r)), DecodeError);
+}
+
+TEST(WireTest, BatchRoundTrip) {
+  Batch batch;
+  batch.requests.push_back(sample_request());
+  Request reconfig;
+  reconfig.client = 55;
+  reconfig.seq = 1;
+  reconfig.kind = RequestKind::reconfig;
+  reconfig.payload = to_bytes("x");
+  batch.requests.push_back(reconfig);
+
+  const Batch decoded = Batch::decode(batch.encode());
+  ASSERT_EQ(decoded.requests.size(), 2u);
+  EXPECT_EQ(decoded.requests[0], batch.requests[0]);
+  EXPECT_EQ(decoded.requests[1], batch.requests[1]);
+}
+
+TEST(WireTest, EmptyBatch) {
+  Batch batch;
+  EXPECT_TRUE(Batch::decode(batch.encode()).requests.empty());
+}
+
+TEST(WireTest, BatchRejectsBadKind) {
+  Bytes raw = Batch{{sample_request()}}.encode();
+  raw[4 + 4 + 8] = 9;  // corrupt the kind byte of the first request
+  EXPECT_THROW(Batch::decode(raw), DecodeError);
+}
+
+TEST(WireTest, ReplyRoundTrip) {
+  Reply reply;
+  reply.client_seq = 9;
+  reply.cid = 4;
+  reply.payload = to_bytes("result");
+  const Reply decoded = decode_reply(encode_reply(reply));
+  EXPECT_EQ(decoded.client_seq, 9u);
+  EXPECT_EQ(decoded.cid, 4u);
+  EXPECT_EQ(decoded.payload, to_bytes("result"));
+}
+
+TEST(WireTest, ProposeWriteAcceptRoundTrip) {
+  const ValueHash h = consensus::value_hash(to_bytes("batch"));
+
+  Propose p{3, 1, to_bytes("batch")};
+  const Propose p2 = decode_propose(encode_propose(p));
+  EXPECT_EQ(p2.cid, 3u);
+  EXPECT_EQ(p2.epoch, 1u);
+  EXPECT_EQ(p2.value, to_bytes("batch"));
+
+  WriteMsg w{3, 1, h, to_bytes("sig")};
+  const WriteMsg w2 = decode_write(encode_write(w));
+  EXPECT_EQ(w2.cid, 3u);
+  EXPECT_EQ(w2.hash, h);
+  EXPECT_EQ(w2.signature, to_bytes("sig"));
+
+  AcceptMsg a{3, 1, h};
+  const AcceptMsg a2 = decode_accept(encode_accept(a));
+  EXPECT_EQ(a2.cid, 3u);
+  EXPECT_EQ(a2.epoch, 1u);
+  EXPECT_EQ(a2.hash, h);
+}
+
+TEST(WireTest, StopRoundTrip) {
+  EXPECT_EQ(decode_stop(encode_stop(Stop{5})).next_epoch, 5u);
+}
+
+TEST(WireTest, StopDataRoundTripWithCertificate) {
+  StopData sd;
+  sd.next_epoch = 2;
+  sd.from = 1;
+  sd.last_decided = 10;
+  sd.cid = 11;
+  WriteCertificate cert;
+  cert.cid = 11;
+  cert.epoch = 1;
+  cert.hash = consensus::value_hash(to_bytes("v"));
+  cert.votes.push_back({0, to_bytes("s0")});
+  cert.votes.push_back({2, to_bytes("s2")});
+  cert.votes.push_back({3, to_bytes("s3")});
+  sd.cert = cert;
+  sd.value = to_bytes("v");
+  sd.signature = to_bytes("stopdata-sig");
+
+  const StopData decoded = decode_stopdata(encode_stopdata(sd));
+  EXPECT_EQ(decoded.next_epoch, 2u);
+  EXPECT_EQ(decoded.from, 1u);
+  EXPECT_EQ(decoded.last_decided, 10u);
+  EXPECT_EQ(decoded.cid, 11u);
+  ASSERT_TRUE(decoded.cert.has_value());
+  EXPECT_EQ(decoded.cert->hash, cert.hash);
+  ASSERT_EQ(decoded.cert->votes.size(), 3u);
+  EXPECT_EQ(decoded.cert->votes[1].from, 2u);
+  EXPECT_EQ(decoded.value, to_bytes("v"));
+  EXPECT_EQ(decoded.signature, to_bytes("stopdata-sig"));
+}
+
+TEST(WireTest, StopDataWithoutCertificate) {
+  StopData sd;
+  sd.next_epoch = 1;
+  sd.from = 0;
+  sd.cid = 1;
+  const StopData decoded = decode_stopdata(encode_stopdata(sd));
+  EXPECT_FALSE(decoded.cert.has_value());
+}
+
+TEST(WireTest, StopDataDigestExcludesSignature) {
+  StopData sd;
+  sd.next_epoch = 1;
+  sd.from = 0;
+  sd.cid = 1;
+  const auto digest_unsigned = stopdata_digest(sd);
+  sd.signature = to_bytes("sig");
+  EXPECT_EQ(stopdata_digest(sd), digest_unsigned);
+  sd.cid = 2;
+  EXPECT_NE(stopdata_digest(sd), digest_unsigned);
+}
+
+TEST(WireTest, SyncRoundTrip) {
+  Sync sync;
+  sync.new_epoch = 3;
+  sync.cid = 12;
+  sync.stopdata_blobs.push_back(to_bytes("blob-a"));
+  sync.stopdata_blobs.push_back(to_bytes("blob-b"));
+  sync.proposed_value = to_bytes("value");
+  const Sync decoded = decode_sync(encode_sync(sync));
+  EXPECT_EQ(decoded.new_epoch, 3u);
+  EXPECT_EQ(decoded.cid, 12u);
+  ASSERT_EQ(decoded.stopdata_blobs.size(), 2u);
+  EXPECT_EQ(decoded.stopdata_blobs[1], to_bytes("blob-b"));
+  EXPECT_EQ(decoded.proposed_value, to_bytes("value"));
+}
+
+TEST(WireTest, StateTransferRoundTrip) {
+  EXPECT_EQ(decode_state_request(encode_state_request(StateRequest{42})).last_decided,
+            42u);
+
+  StateReply reply;
+  reply.snapshot_cid = 8;
+  reply.snapshot = to_bytes("snap");
+  reply.log.push_back({9, to_bytes("b9")});
+  reply.log.push_back({10, to_bytes("b10")});
+  reply.epoch = 2;
+  const StateReply decoded = decode_state_reply(encode_state_reply(reply));
+  EXPECT_EQ(decoded.snapshot_cid, 8u);
+  EXPECT_EQ(decoded.snapshot, to_bytes("snap"));
+  ASSERT_EQ(decoded.log.size(), 2u);
+  EXPECT_EQ(decoded.log[1].cid, 10u);
+  EXPECT_EQ(decoded.epoch, 2u);
+}
+
+TEST(WireTest, StateReplyDigestIgnoresEpoch) {
+  StateReply reply;
+  reply.snapshot_cid = 8;
+  reply.snapshot = to_bytes("snap");
+  reply.epoch = 2;
+  const auto base = state_reply_digest(reply);
+  reply.epoch = 9;
+  EXPECT_EQ(state_reply_digest(reply), base);
+  reply.snapshot = to_bytes("tampered");
+  EXPECT_NE(state_reply_digest(reply), base);
+}
+
+TEST(WireTest, ValueExchangeRoundTrip) {
+  const ValueHash h = consensus::value_hash(to_bytes("v"));
+  const ValueRequest vr = decode_value_request(encode_value_request({6, h}));
+  EXPECT_EQ(vr.cid, 6u);
+  EXPECT_EQ(vr.hash, h);
+  const ValueReply vy = decode_value_reply(encode_value_reply({6, to_bytes("v")}));
+  EXPECT_EQ(vy.cid, 6u);
+  EXPECT_EQ(vy.value, to_bytes("v"));
+}
+
+TEST(WireTest, PushRoundTrip) {
+  const Bytes payload = to_bytes("block-bytes");
+  EXPECT_EQ(decode_push(encode_push(payload)), payload);
+  EXPECT_EQ(peek_kind(encode_register_receiver()), MsgKind::register_receiver);
+}
+
+TEST(WireTest, PeekKindRejectsEmpty) {
+  EXPECT_THROW(peek_kind(Bytes{}), DecodeError);
+}
+
+TEST(WireTest, TruncatedMessagesThrow) {
+  const Bytes propose = encode_propose(Propose{1, 0, to_bytes("v")});
+  for (std::size_t cut : {1u, 5u, 12u}) {
+    EXPECT_THROW(decode_propose(ByteView(propose.data(), cut)), DecodeError);
+  }
+}
+
+TEST(WireTest, ReconfigPayloadRoundTrip) {
+  const Bytes add = encode_reconfig(ReconfigOp::add, 9);
+  const auto [op, node] = decode_reconfig(add);
+  EXPECT_EQ(op, ReconfigOp::add);
+  EXPECT_EQ(node, 9u);
+  EXPECT_THROW(decode_reconfig(to_bytes("zz")), DecodeError);
+}
+
+}  // namespace
+}  // namespace bft::smr

@@ -1,0 +1,95 @@
+#include "util/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace bft {
+namespace {
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BlockingQueueTest, TryPopEmptyReturnsNullopt) {
+  BlockingQueue<int> q;
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(BlockingQueueTest, BoundedTryPushFailsWhenFull) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  q.pop();
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedPop) {
+  BlockingQueue<int> q;
+  std::thread consumer([&] { EXPECT_EQ(q.pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+}
+
+TEST(BlockingQueueTest, CloseDrainsRemainingItems) {
+  BlockingQueue<int> q;
+  q.push(7);
+  q.close();
+  EXPECT_FALSE(q.push(8));
+  EXPECT_EQ(q.pop(), 7);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BlockingQueueTest, ManyProducersManyConsumers) {
+  BlockingQueue<int> q(64);
+  constexpr int kProducers = 4;
+  constexpr int kItemsEach = 2500;
+  std::atomic<long> sum{0};
+  std::atomic<int> received{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q] {
+      for (int i = 1; i <= kItemsEach; ++i) q.push(i);
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (received.load() < kProducers * kItemsEach) {
+        auto v = q.try_pop();
+        if (v) {
+          sum.fetch_add(*v);
+          received.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const long expected =
+      static_cast<long>(kProducers) * kItemsEach * (kItemsEach + 1) / 2;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(BlockingQueueTest, SizeTracksContents) {
+  BlockingQueue<int> q;
+  EXPECT_EQ(q.size(), 0u);
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace bft

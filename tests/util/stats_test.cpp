@@ -1,0 +1,72 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft {
+namespace {
+
+TEST(HistogramTest, BasicOrderStatistics) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.median(), 50);
+  EXPECT_DOUBLE_EQ(h.percentile(0.9), 90);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1);
+}
+
+TEST(HistogramTest, UnsortedInsertion) {
+  Histogram h;
+  h.add(5);
+  h.add(1);
+  h.add(3);
+  EXPECT_DOUBLE_EQ(h.median(), 3);
+  h.add(0.5);  // re-dirty after a query
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.add(7);
+  EXPECT_DOUBLE_EQ(h.median(), 7);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 7);
+}
+
+TEST(HistogramTest, EmptyThrows) {
+  Histogram h;
+  EXPECT_THROW(h.mean(), std::logic_error);
+  EXPECT_THROW(h.median(), std::logic_error);
+  EXPECT_THROW(h.min(), std::logic_error);
+}
+
+TEST(HistogramTest, InvalidQuantileThrows) {
+  Histogram h;
+  h.add(1);
+  EXPECT_THROW(h.percentile(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.percentile(1.1), std::invalid_argument);
+}
+
+TEST(HistogramTest, Merge) {
+  Histogram a;
+  Histogram b;
+  a.add(1);
+  b.add(3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2);
+}
+
+TEST(RateMeterTest, Rate) {
+  RateMeter m;
+  m.add(500);
+  m.add();
+  EXPECT_EQ(m.events(), 501u);
+  EXPECT_DOUBLE_EQ(m.rate(2.0), 250.5);
+  EXPECT_THROW(m.rate(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bft

@@ -1,0 +1,71 @@
+#include "util/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+namespace bft {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.drain();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, DrainWaitsForInFlightJobs) {
+  ThreadPool pool(2);
+  std::atomic<bool> finished{false};
+  pool.submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    finished.store(true);
+  });
+  pool.drain();
+  EXPECT_TRUE(finished.load());
+}
+
+TEST(ThreadPoolTest, ParallelismActuallyUsed) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&] {
+      const int now = concurrent.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      concurrent.fetch_sub(1);
+    });
+  }
+  pool.drain();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPoolTest, WorkerCountReported) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRejected) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, DestructorCompletesQueuedJobs) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+}  // namespace
+}  // namespace bft
