@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sigverify.dir/bench_ablation_sigverify.cpp.o"
+  "CMakeFiles/bench_ablation_sigverify.dir/bench_ablation_sigverify.cpp.o.d"
+  "bench_ablation_sigverify"
+  "bench_ablation_sigverify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sigverify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

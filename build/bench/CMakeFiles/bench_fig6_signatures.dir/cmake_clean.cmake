@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_signatures.dir/bench_fig6_signatures.cpp.o"
+  "CMakeFiles/bench_fig6_signatures.dir/bench_fig6_signatures.cpp.o.d"
+  "bench_fig6_signatures"
+  "bench_fig6_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

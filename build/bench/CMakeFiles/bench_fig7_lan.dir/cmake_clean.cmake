@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_lan.dir/bench_fig7_lan.cpp.o"
+  "CMakeFiles/bench_fig7_lan.dir/bench_fig7_lan.cpp.o.d"
+  "bench_fig7_lan"
+  "bench_fig7_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_geo.dir/bench_fig8_geo.cpp.o"
+  "CMakeFiles/bench_fig8_geo.dir/bench_fig8_geo.cpp.o.d"
+  "bench_fig8_geo"
+  "bench_fig8_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_geo.dir/bench_fig9_geo.cpp.o"
+  "CMakeFiles/bench_fig9_geo.dir/bench_fig9_geo.cpp.o.d"
+  "bench_fig9_geo"
+  "bench_fig9_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

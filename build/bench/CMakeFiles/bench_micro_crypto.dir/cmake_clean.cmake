@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_crypto.dir/bench_micro_crypto.cpp.o"
+  "CMakeFiles/bench_micro_crypto.dir/bench_micro_crypto.cpp.o.d"
+  "bench_micro_crypto"
+  "bench_micro_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

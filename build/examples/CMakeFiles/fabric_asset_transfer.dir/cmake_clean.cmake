@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_asset_transfer.dir/fabric_asset_transfer.cpp.o"
+  "CMakeFiles/fabric_asset_transfer.dir/fabric_asset_transfer.cpp.o.d"
+  "fabric_asset_transfer"
+  "fabric_asset_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_asset_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

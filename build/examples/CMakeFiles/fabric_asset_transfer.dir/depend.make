@@ -1,0 +1,2 @@
+# Empty dependencies file for fabric_asset_transfer.
+# This may be replaced when dependencies are built.

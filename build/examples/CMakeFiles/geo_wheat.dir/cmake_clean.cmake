@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_wheat.dir/geo_wheat.cpp.o"
+  "CMakeFiles/geo_wheat.dir/geo_wheat.cpp.o.d"
+  "geo_wheat"
+  "geo_wheat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_wheat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_common.dir/bytes.cpp.o"
+  "CMakeFiles/bft_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/bft_common.dir/cli.cpp.o"
+  "CMakeFiles/bft_common.dir/cli.cpp.o.d"
+  "CMakeFiles/bft_common.dir/log.cpp.o"
+  "CMakeFiles/bft_common.dir/log.cpp.o.d"
+  "CMakeFiles/bft_common.dir/rng.cpp.o"
+  "CMakeFiles/bft_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bft_common.dir/serial.cpp.o"
+  "CMakeFiles/bft_common.dir/serial.cpp.o.d"
+  "libbft_common.a"
+  "libbft_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_consensus.dir/instance.cpp.o"
+  "CMakeFiles/bft_consensus.dir/instance.cpp.o.d"
+  "CMakeFiles/bft_consensus.dir/quorum.cpp.o"
+  "CMakeFiles/bft_consensus.dir/quorum.cpp.o.d"
+  "libbft_consensus.a"
+  "libbft_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

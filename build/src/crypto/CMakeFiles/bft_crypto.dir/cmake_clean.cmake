@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_crypto.dir/ecdsa.cpp.o"
+  "CMakeFiles/bft_crypto.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/bft_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/bft_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/bft_crypto.dir/modarith.cpp.o"
+  "CMakeFiles/bft_crypto.dir/modarith.cpp.o.d"
+  "CMakeFiles/bft_crypto.dir/secp256k1.cpp.o"
+  "CMakeFiles/bft_crypto.dir/secp256k1.cpp.o.d"
+  "CMakeFiles/bft_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/bft_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/bft_crypto.dir/u256.cpp.o"
+  "CMakeFiles/bft_crypto.dir/u256.cpp.o.d"
+  "libbft_crypto.a"
+  "libbft_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/chaincode.cpp" "src/fabric/CMakeFiles/bft_fabric.dir/chaincode.cpp.o" "gcc" "src/fabric/CMakeFiles/bft_fabric.dir/chaincode.cpp.o.d"
+  "/root/repo/src/fabric/client.cpp" "src/fabric/CMakeFiles/bft_fabric.dir/client.cpp.o" "gcc" "src/fabric/CMakeFiles/bft_fabric.dir/client.cpp.o.d"
+  "/root/repo/src/fabric/kvstore.cpp" "src/fabric/CMakeFiles/bft_fabric.dir/kvstore.cpp.o" "gcc" "src/fabric/CMakeFiles/bft_fabric.dir/kvstore.cpp.o.d"
+  "/root/repo/src/fabric/peer.cpp" "src/fabric/CMakeFiles/bft_fabric.dir/peer.cpp.o" "gcc" "src/fabric/CMakeFiles/bft_fabric.dir/peer.cpp.o.d"
+  "/root/repo/src/fabric/policy.cpp" "src/fabric/CMakeFiles/bft_fabric.dir/policy.cpp.o" "gcc" "src/fabric/CMakeFiles/bft_fabric.dir/policy.cpp.o.d"
+  "/root/repo/src/fabric/types.cpp" "src/fabric/CMakeFiles/bft_fabric.dir/types.cpp.o" "gcc" "src/fabric/CMakeFiles/bft_fabric.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bft_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/bft_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/smr/CMakeFiles/bft_smr.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/bft_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bft_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

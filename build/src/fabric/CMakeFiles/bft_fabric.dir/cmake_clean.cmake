@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_fabric.dir/chaincode.cpp.o"
+  "CMakeFiles/bft_fabric.dir/chaincode.cpp.o.d"
+  "CMakeFiles/bft_fabric.dir/client.cpp.o"
+  "CMakeFiles/bft_fabric.dir/client.cpp.o.d"
+  "CMakeFiles/bft_fabric.dir/kvstore.cpp.o"
+  "CMakeFiles/bft_fabric.dir/kvstore.cpp.o.d"
+  "CMakeFiles/bft_fabric.dir/peer.cpp.o"
+  "CMakeFiles/bft_fabric.dir/peer.cpp.o.d"
+  "CMakeFiles/bft_fabric.dir/policy.cpp.o"
+  "CMakeFiles/bft_fabric.dir/policy.cpp.o.d"
+  "CMakeFiles/bft_fabric.dir/types.cpp.o"
+  "CMakeFiles/bft_fabric.dir/types.cpp.o.d"
+  "libbft_fabric.a"
+  "libbft_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

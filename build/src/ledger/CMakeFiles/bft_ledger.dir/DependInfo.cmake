@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ledger/block.cpp" "src/ledger/CMakeFiles/bft_ledger.dir/block.cpp.o" "gcc" "src/ledger/CMakeFiles/bft_ledger.dir/block.cpp.o.d"
+  "/root/repo/src/ledger/chain.cpp" "src/ledger/CMakeFiles/bft_ledger.dir/chain.cpp.o" "gcc" "src/ledger/CMakeFiles/bft_ledger.dir/chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bft_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_ledger.dir/block.cpp.o"
+  "CMakeFiles/bft_ledger.dir/block.cpp.o.d"
+  "CMakeFiles/bft_ledger.dir/chain.cpp.o"
+  "CMakeFiles/bft_ledger.dir/chain.cpp.o.d"
+  "libbft_ledger.a"
+  "libbft_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ordering/blockcutter.cpp" "src/ordering/CMakeFiles/bft_ordering.dir/blockcutter.cpp.o" "gcc" "src/ordering/CMakeFiles/bft_ordering.dir/blockcutter.cpp.o.d"
+  "/root/repo/src/ordering/channels.cpp" "src/ordering/CMakeFiles/bft_ordering.dir/channels.cpp.o" "gcc" "src/ordering/CMakeFiles/bft_ordering.dir/channels.cpp.o.d"
+  "/root/repo/src/ordering/crash_ordering.cpp" "src/ordering/CMakeFiles/bft_ordering.dir/crash_ordering.cpp.o" "gcc" "src/ordering/CMakeFiles/bft_ordering.dir/crash_ordering.cpp.o.d"
+  "/root/repo/src/ordering/deployment.cpp" "src/ordering/CMakeFiles/bft_ordering.dir/deployment.cpp.o" "gcc" "src/ordering/CMakeFiles/bft_ordering.dir/deployment.cpp.o.d"
+  "/root/repo/src/ordering/frontend.cpp" "src/ordering/CMakeFiles/bft_ordering.dir/frontend.cpp.o" "gcc" "src/ordering/CMakeFiles/bft_ordering.dir/frontend.cpp.o.d"
+  "/root/repo/src/ordering/geo.cpp" "src/ordering/CMakeFiles/bft_ordering.dir/geo.cpp.o" "gcc" "src/ordering/CMakeFiles/bft_ordering.dir/geo.cpp.o.d"
+  "/root/repo/src/ordering/node.cpp" "src/ordering/CMakeFiles/bft_ordering.dir/node.cpp.o" "gcc" "src/ordering/CMakeFiles/bft_ordering.dir/node.cpp.o.d"
+  "/root/repo/src/ordering/signer.cpp" "src/ordering/CMakeFiles/bft_ordering.dir/signer.cpp.o" "gcc" "src/ordering/CMakeFiles/bft_ordering.dir/signer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smr/CMakeFiles/bft_smr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/bft_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bft_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/bft_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bft_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bft_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_ordering.dir/blockcutter.cpp.o"
+  "CMakeFiles/bft_ordering.dir/blockcutter.cpp.o.d"
+  "CMakeFiles/bft_ordering.dir/channels.cpp.o"
+  "CMakeFiles/bft_ordering.dir/channels.cpp.o.d"
+  "CMakeFiles/bft_ordering.dir/crash_ordering.cpp.o"
+  "CMakeFiles/bft_ordering.dir/crash_ordering.cpp.o.d"
+  "CMakeFiles/bft_ordering.dir/deployment.cpp.o"
+  "CMakeFiles/bft_ordering.dir/deployment.cpp.o.d"
+  "CMakeFiles/bft_ordering.dir/frontend.cpp.o"
+  "CMakeFiles/bft_ordering.dir/frontend.cpp.o.d"
+  "CMakeFiles/bft_ordering.dir/geo.cpp.o"
+  "CMakeFiles/bft_ordering.dir/geo.cpp.o.d"
+  "CMakeFiles/bft_ordering.dir/node.cpp.o"
+  "CMakeFiles/bft_ordering.dir/node.cpp.o.d"
+  "CMakeFiles/bft_ordering.dir/signer.cpp.o"
+  "CMakeFiles/bft_ordering.dir/signer.cpp.o.d"
+  "libbft_ordering.a"
+  "libbft_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

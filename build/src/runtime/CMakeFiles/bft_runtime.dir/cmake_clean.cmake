@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_runtime.dir/real_runtime.cpp.o"
+  "CMakeFiles/bft_runtime.dir/real_runtime.cpp.o.d"
+  "CMakeFiles/bft_runtime.dir/sim_runtime.cpp.o"
+  "CMakeFiles/bft_runtime.dir/sim_runtime.cpp.o.d"
+  "libbft_runtime.a"
+  "libbft_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

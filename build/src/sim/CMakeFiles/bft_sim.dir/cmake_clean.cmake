@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_sim.dir/cpu.cpp.o"
+  "CMakeFiles/bft_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/bft_sim.dir/network.cpp.o"
+  "CMakeFiles/bft_sim.dir/network.cpp.o.d"
+  "CMakeFiles/bft_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/bft_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/bft_sim.dir/wan.cpp.o"
+  "CMakeFiles/bft_sim.dir/wan.cpp.o.d"
+  "libbft_sim.a"
+  "libbft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

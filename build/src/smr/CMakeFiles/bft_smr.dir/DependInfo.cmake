@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smr/client.cpp" "src/smr/CMakeFiles/bft_smr.dir/client.cpp.o" "gcc" "src/smr/CMakeFiles/bft_smr.dir/client.cpp.o.d"
+  "/root/repo/src/smr/config.cpp" "src/smr/CMakeFiles/bft_smr.dir/config.cpp.o" "gcc" "src/smr/CMakeFiles/bft_smr.dir/config.cpp.o.d"
+  "/root/repo/src/smr/replica.cpp" "src/smr/CMakeFiles/bft_smr.dir/replica.cpp.o" "gcc" "src/smr/CMakeFiles/bft_smr.dir/replica.cpp.o.d"
+  "/root/repo/src/smr/wire.cpp" "src/smr/CMakeFiles/bft_smr.dir/wire.cpp.o" "gcc" "src/smr/CMakeFiles/bft_smr.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bft_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/bft_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bft_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_smr.dir/client.cpp.o"
+  "CMakeFiles/bft_smr.dir/client.cpp.o.d"
+  "CMakeFiles/bft_smr.dir/config.cpp.o"
+  "CMakeFiles/bft_smr.dir/config.cpp.o.d"
+  "CMakeFiles/bft_smr.dir/replica.cpp.o"
+  "CMakeFiles/bft_smr.dir/replica.cpp.o.d"
+  "CMakeFiles/bft_smr.dir/wire.cpp.o"
+  "CMakeFiles/bft_smr.dir/wire.cpp.o.d"
+  "libbft_smr.a"
+  "libbft_smr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_smr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_util.dir/stats.cpp.o"
+  "CMakeFiles/bft_util.dir/stats.cpp.o.d"
+  "CMakeFiles/bft_util.dir/threadpool.cpp.o"
+  "CMakeFiles/bft_util.dir/threadpool.cpp.o.d"
+  "libbft_util.a"
+  "libbft_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledger_test.dir/ledger/block_test.cpp.o"
+  "CMakeFiles/ledger_test.dir/ledger/block_test.cpp.o.d"
+  "CMakeFiles/ledger_test.dir/ledger/chain_test.cpp.o"
+  "CMakeFiles/ledger_test.dir/ledger/chain_test.cpp.o.d"
+  "ledger_test"
+  "ledger_test.pdb"
+  "ledger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

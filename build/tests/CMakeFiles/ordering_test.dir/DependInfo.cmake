@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ordering/blockcutter_test.cpp" "tests/CMakeFiles/ordering_test.dir/ordering/blockcutter_test.cpp.o" "gcc" "tests/CMakeFiles/ordering_test.dir/ordering/blockcutter_test.cpp.o.d"
+  "/root/repo/tests/ordering/channels_test.cpp" "tests/CMakeFiles/ordering_test.dir/ordering/channels_test.cpp.o" "gcc" "tests/CMakeFiles/ordering_test.dir/ordering/channels_test.cpp.o.d"
+  "/root/repo/tests/ordering/crash_ordering_test.cpp" "tests/CMakeFiles/ordering_test.dir/ordering/crash_ordering_test.cpp.o" "gcc" "tests/CMakeFiles/ordering_test.dir/ordering/crash_ordering_test.cpp.o.d"
+  "/root/repo/tests/ordering/frontend_test.cpp" "tests/CMakeFiles/ordering_test.dir/ordering/frontend_test.cpp.o" "gcc" "tests/CMakeFiles/ordering_test.dir/ordering/frontend_test.cpp.o.d"
+  "/root/repo/tests/ordering/geo_test.cpp" "tests/CMakeFiles/ordering_test.dir/ordering/geo_test.cpp.o" "gcc" "tests/CMakeFiles/ordering_test.dir/ordering/geo_test.cpp.o.d"
+  "/root/repo/tests/ordering/recovery_test.cpp" "tests/CMakeFiles/ordering_test.dir/ordering/recovery_test.cpp.o" "gcc" "tests/CMakeFiles/ordering_test.dir/ordering/recovery_test.cpp.o.d"
+  "/root/repo/tests/ordering/service_test.cpp" "tests/CMakeFiles/ordering_test.dir/ordering/service_test.cpp.o" "gcc" "tests/CMakeFiles/ordering_test.dir/ordering/service_test.cpp.o.d"
+  "/root/repo/tests/ordering/signer_test.cpp" "tests/CMakeFiles/ordering_test.dir/ordering/signer_test.cpp.o" "gcc" "tests/CMakeFiles/ordering_test.dir/ordering/signer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ordering/CMakeFiles/bft_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/smr/CMakeFiles/bft_smr.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/bft_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bft_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/bft_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bft_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bft_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

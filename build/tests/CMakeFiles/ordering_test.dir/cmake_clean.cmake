@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_test.dir/ordering/blockcutter_test.cpp.o"
+  "CMakeFiles/ordering_test.dir/ordering/blockcutter_test.cpp.o.d"
+  "CMakeFiles/ordering_test.dir/ordering/channels_test.cpp.o"
+  "CMakeFiles/ordering_test.dir/ordering/channels_test.cpp.o.d"
+  "CMakeFiles/ordering_test.dir/ordering/crash_ordering_test.cpp.o"
+  "CMakeFiles/ordering_test.dir/ordering/crash_ordering_test.cpp.o.d"
+  "CMakeFiles/ordering_test.dir/ordering/frontend_test.cpp.o"
+  "CMakeFiles/ordering_test.dir/ordering/frontend_test.cpp.o.d"
+  "CMakeFiles/ordering_test.dir/ordering/geo_test.cpp.o"
+  "CMakeFiles/ordering_test.dir/ordering/geo_test.cpp.o.d"
+  "CMakeFiles/ordering_test.dir/ordering/recovery_test.cpp.o"
+  "CMakeFiles/ordering_test.dir/ordering/recovery_test.cpp.o.d"
+  "CMakeFiles/ordering_test.dir/ordering/service_test.cpp.o"
+  "CMakeFiles/ordering_test.dir/ordering/service_test.cpp.o.d"
+  "CMakeFiles/ordering_test.dir/ordering/signer_test.cpp.o"
+  "CMakeFiles/ordering_test.dir/ordering/signer_test.cpp.o.d"
+  "ordering_test"
+  "ordering_test.pdb"
+  "ordering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/smr/client_test.cpp" "tests/CMakeFiles/smr_test.dir/smr/client_test.cpp.o" "gcc" "tests/CMakeFiles/smr_test.dir/smr/client_test.cpp.o.d"
+  "/root/repo/tests/smr/config_test.cpp" "tests/CMakeFiles/smr_test.dir/smr/config_test.cpp.o" "gcc" "tests/CMakeFiles/smr_test.dir/smr/config_test.cpp.o.d"
+  "/root/repo/tests/smr/property_sweep_test.cpp" "tests/CMakeFiles/smr_test.dir/smr/property_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/smr_test.dir/smr/property_sweep_test.cpp.o.d"
+  "/root/repo/tests/smr/replica_fault_test.cpp" "tests/CMakeFiles/smr_test.dir/smr/replica_fault_test.cpp.o" "gcc" "tests/CMakeFiles/smr_test.dir/smr/replica_fault_test.cpp.o.d"
+  "/root/repo/tests/smr/replica_test.cpp" "tests/CMakeFiles/smr_test.dir/smr/replica_test.cpp.o" "gcc" "tests/CMakeFiles/smr_test.dir/smr/replica_test.cpp.o.d"
+  "/root/repo/tests/smr/wire_fuzz_test.cpp" "tests/CMakeFiles/smr_test.dir/smr/wire_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/smr_test.dir/smr/wire_fuzz_test.cpp.o.d"
+  "/root/repo/tests/smr/wire_test.cpp" "tests/CMakeFiles/smr_test.dir/smr/wire_test.cpp.o" "gcc" "tests/CMakeFiles/smr_test.dir/smr/wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smr/CMakeFiles/bft_smr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/bft_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/bft_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bft_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/bft_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bft_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bft_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smr_test.dir/smr/client_test.cpp.o"
+  "CMakeFiles/smr_test.dir/smr/client_test.cpp.o.d"
+  "CMakeFiles/smr_test.dir/smr/config_test.cpp.o"
+  "CMakeFiles/smr_test.dir/smr/config_test.cpp.o.d"
+  "CMakeFiles/smr_test.dir/smr/property_sweep_test.cpp.o"
+  "CMakeFiles/smr_test.dir/smr/property_sweep_test.cpp.o.d"
+  "CMakeFiles/smr_test.dir/smr/replica_fault_test.cpp.o"
+  "CMakeFiles/smr_test.dir/smr/replica_fault_test.cpp.o.d"
+  "CMakeFiles/smr_test.dir/smr/replica_test.cpp.o"
+  "CMakeFiles/smr_test.dir/smr/replica_test.cpp.o.d"
+  "CMakeFiles/smr_test.dir/smr/wire_fuzz_test.cpp.o"
+  "CMakeFiles/smr_test.dir/smr/wire_fuzz_test.cpp.o.d"
+  "CMakeFiles/smr_test.dir/smr/wire_test.cpp.o"
+  "CMakeFiles/smr_test.dir/smr/wire_test.cpp.o.d"
+  "smr_test"
+  "smr_test.pdb"
+  "smr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
