@@ -6,10 +6,16 @@ namespace {
 
 std::shared_ptr<BlockSigner> make_signer(const ServiceOptions& options,
                                          runtime::ProcessId node) {
+  std::shared_ptr<BlockSigner> signer;
   if (options.stub_signatures) {
-    return std::make_shared<StubBlockSigner>(node, options.signature_cost);
+    signer = std::make_shared<StubBlockSigner>(node, options.signature_cost);
+  } else {
+    signer = std::make_shared<EcdsaBlockSigner>(node, options.signature_cost);
   }
-  return std::make_shared<EcdsaBlockSigner>(node, options.signature_cost);
+  if (options.corrupt_signers.count(node) > 0) {
+    signer = std::make_shared<CorruptingBlockSigner>(std::move(signer));
+  }
+  return signer;
 }
 
 }  // namespace

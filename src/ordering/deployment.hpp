@@ -28,6 +28,9 @@ struct ServiceOptions {
   runtime::Duration signature_cost = runtime::usec(1905);
   /// HLF double-signing mode (footnote 10).
   bool double_sign = false;
+  /// Byzantine fault injection: these nodes emit invalid block signatures
+  /// (their blocks are correct, their signatures never verify).
+  std::set<runtime::ProcessId> corrupt_signers;
 };
 
 /// One ordering node and its replica, wired together.

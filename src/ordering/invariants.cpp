@@ -1,0 +1,104 @@
+#include "ordering/invariants.hpp"
+
+#include <sstream>
+
+namespace bft::ordering {
+
+InvariantChecker::InvariantChecker() : InvariantChecker(Options{}) {}
+
+InvariantChecker::InvariantChecker(Options options)
+    : options_(std::move(options)) {}
+
+Frontend::BlockCallback InvariantChecker::observer(std::size_t index) {
+  return [this, index](const ledger::Block& block) { observe(index, block); };
+}
+
+void InvariantChecker::observe(std::size_t index, const ledger::Block& block) {
+  ++blocks_observed_;
+  FrontendState& state = frontends_[index];
+  if (!state.genesis_set) {
+    state.expected_previous = ledger::genesis_hash(options_.channel);
+    state.genesis_set = true;
+  }
+
+  const std::uint64_t number = block.header.number;
+  std::ostringstream who;
+  who << "frontend " << index << " block " << number;
+
+  // Contiguity: frontends deliver strictly in order, so a gap or repeat means
+  // the ordering layer skipped or re-delivered a sequence number.
+  if (number != state.next_number) {
+    std::ostringstream msg;
+    msg << who.str() << ": expected number " << state.next_number;
+    violation(msg.str());
+    // Resynchronize so one gap does not cascade into a violation per block.
+    state.next_number = number;
+    state.expected_previous = block.header.previous_hash;
+  }
+
+  // Chain integrity: header links the previous header and commits to the data.
+  if (block.header.previous_hash != state.expected_previous) {
+    violation(who.str() + ": previous-hash link broken");
+  }
+  if (block.header.data_hash != ledger::compute_data_hash(block.envelopes)) {
+    violation(who.str() + ": data hash does not match envelopes");
+  }
+
+  // No fork: every frontend must see the same header at each number.
+  const crypto::Hash256 digest = block.header.digest();
+  auto [it, inserted] = canonical_.emplace(number, digest);
+  if (!inserted && it->second != digest) {
+    violation(who.str() + ": FORK — header differs from first delivery");
+  }
+
+  if (options_.expect_unique_envelopes) {
+    for (const Bytes& envelope : block.envelopes) {
+      const std::string key = crypto::hash_hex(crypto::sha256(envelope));
+      if (!state.envelope_digests.insert(key).second) {
+        violation(who.str() + ": envelope ordered twice (" + key.substr(0, 16) +
+                  ")");
+      }
+    }
+  }
+
+  state.next_number = number + 1;
+  state.expected_previous = digest;
+}
+
+void InvariantChecker::check_all_delivered(const std::string& who,
+                                           const Frontend& frontend,
+                                           std::uint64_t expected_envelopes) {
+  if (frontend.delivered_envelopes() != expected_envelopes) {
+    std::ostringstream msg;
+    msg << who << ": delivered " << frontend.delivered_envelopes() << " of "
+        << expected_envelopes << " envelopes";
+    violation(msg.str());
+  }
+}
+
+void InvariantChecker::check_recovered_by(const std::string& who,
+                                          const Frontend& frontend,
+                                          runtime::TimePoint quiet_from,
+                                          runtime::Duration bound) {
+  const runtime::TimePoint last = frontend.last_delivery_time();
+  if (last < 0) {
+    violation(who + ": no blocks delivered at all");
+  } else if (last > quiet_from + bound) {
+    std::ostringstream msg;
+    msg << who << ": delivery still trickling " << (last - quiet_from)
+        << " ticks after quiescence (bound " << bound << ")";
+    violation(msg.str());
+  }
+}
+
+void InvariantChecker::violation(std::string what) {
+  violations_.push_back(std::move(what));
+}
+
+std::string InvariantChecker::report() const {
+  std::ostringstream out;
+  for (const std::string& v : violations_) out << v << "\n";
+  return out.str();
+}
+
+}  // namespace bft::ordering

@@ -1,0 +1,84 @@
+// Safety/liveness invariant checking for chaos scenarios.
+//
+// An InvariantChecker observes the block streams delivered by any number of
+// frontends and accumulates violations of the properties the paper's service
+// guarantees under <= f Byzantine nodes:
+//
+//   * no fork — every pair of frontends agrees on the block at each sequence
+//     number (prefix consistency of all delivered chains);
+//   * chain integrity — each frontend's stream is contiguous from block 1,
+//     links previous-header hashes correctly and carries valid data hashes
+//     (an invalid block accepted by a quorum rule would surface here);
+//   * optionally, envelope uniqueness — no envelope is ordered twice (chaos
+//     workloads submit distinct envelopes, so a duplicate means the dedup or
+//     rollback machinery re-ordered history).
+//
+// End-of-run checks cover liveness: all submitted envelopes delivered, and
+// delivery completing within a bound after the last fault healed.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ordering/frontend.hpp"
+
+namespace bft::ordering {
+
+class InvariantChecker {
+ public:
+  struct Options {
+    std::string channel = "channel-0";
+    /// Flag an envelope appearing twice within one frontend's chain.
+    bool expect_unique_envelopes = true;
+  };
+
+  InvariantChecker();
+  explicit InvariantChecker(Options options);
+
+  /// Callback to install as frontend `index`'s BlockCallback (or to call from
+  /// within one). Indices only label violations; any distinct values work.
+  Frontend::BlockCallback observer(std::size_t index);
+
+  /// Records one delivered block, running the online safety checks.
+  void observe(std::size_t index, const ledger::Block& block);
+
+  // --- end-of-run liveness checks ---
+
+  /// Every submitted envelope was delivered.
+  void check_all_delivered(const std::string& who, const Frontend& frontend,
+                           std::uint64_t expected_envelopes);
+
+  /// Delivery finished within `bound` after `quiet_from` (typically the later
+  /// of: last fault healed, last envelope submitted).
+  void check_recovered_by(const std::string& who, const Frontend& frontend,
+                          runtime::TimePoint quiet_from,
+                          runtime::Duration bound);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  /// All violations joined, for one-shot test assertions.
+  std::string report() const;
+
+  std::uint64_t blocks_observed() const { return blocks_observed_; }
+
+ private:
+  struct FrontendState {
+    std::uint64_t next_number = 1;
+    crypto::Hash256 expected_previous{};
+    bool genesis_set = false;
+    std::set<std::string> envelope_digests;
+  };
+
+  void violation(std::string what);
+
+  Options options_;
+  std::map<std::size_t, FrontendState> frontends_;
+  /// number -> header digest of the first delivery observed for that number.
+  std::map<std::uint64_t, crypto::Hash256> canonical_;
+  std::vector<std::string> violations_;
+  std::uint64_t blocks_observed_ = 0;
+};
+
+}  // namespace bft::ordering

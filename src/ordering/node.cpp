@@ -118,8 +118,18 @@ void OrderingNode::emit_block(const std::string& channel, ChannelState& state,
   state.previous_header_hash = block.header.digest();
   ++blocks_created_;
 
-  if (replica_->replaying_history()) return;  // state rebuilt, no side effects
+  if (options_.push_cache_blocks > 0) {
+    state.recent_blocks.push_back(block);
+    while (state.recent_blocks.size() > options_.push_cache_blocks) {
+      state.recent_blocks.pop_front();
+    }
+  }
 
+  if (replica_->replaying_history()) return;  // state rebuilt, no side effects
+  sign_and_push(channel, std::move(block));
+}
+
+void OrderingNode::sign_and_push(std::string channel, ledger::Block block) {
   const crypto::Hash256 digest = block.header.digest();
   const BlockSigner* signer = signer_.get();
   const runtime::Duration cost =
@@ -136,7 +146,7 @@ void OrderingNode::emit_block(const std::string& channel, ChannelState& state,
         }
         return signature;
       },
-      [replica, channel,
+      [replica, channel = std::move(channel),
        block = std::move(block)](Bytes signature) mutable {
         const SignedBlock sb{std::move(channel), std::move(block),
                              std::move(signature)};
@@ -144,10 +154,30 @@ void OrderingNode::emit_block(const std::string& channel, ChannelState& state,
       });
 }
 
+void OrderingNode::on_state_installed() {
+  // A state transfer may have skipped past blocks this node never pushed
+  // (snapshot contents and replayed history produce no side effects), yet
+  // frontends need matching copies from a quorum of nodes to deliver.
+  // Re-announce the cached window with our own signature; frontends ignore
+  // numbers they already delivered.
+  for (const auto& [name, state] : channels_) {
+    for (const ledger::Block& block : state.recent_blocks) {
+      sign_and_push(name, block);
+    }
+  }
+}
+
 void OrderingNode::arm_batch_timer() {
   if (options_.batch_timeout <= 0 || batch_timer_armed_) return;
   batch_timer_armed_ = true;
   replica_->set_app_timer(options_.batch_timeout);
+}
+
+void OrderingNode::on_recover() {
+  // The batch-timeout timer died with the crash; re-arm it if envelopes are
+  // still waiting in any cutter, otherwise partial blocks would never cut.
+  batch_timer_armed_ = false;
+  if (pending_total() > 0) arm_batch_timer();
 }
 
 void OrderingNode::on_app_timer(std::uint64_t token) {
@@ -218,6 +248,12 @@ Bytes OrderingNode::snapshot() const {
     w.u64(state.next_block_number);
     w.raw(ByteView(state.previous_header_hash.data(), 32));
     w.bytes(state.cutter.snapshot());
+    // Block content is deterministic across replicas at a given stream
+    // position, so including the cache keeps checkpoint digests comparable.
+    w.u32(static_cast<std::uint32_t>(state.recent_blocks.size()));
+    for (const ledger::Block& block : state.recent_blocks) {
+      w.bytes(block.encode());
+    }
   }
   return std::move(w).take();
 }
@@ -234,6 +270,11 @@ void OrderingNode::restore(ByteView snapshot) {
     state.next_block_number = r.u64();
     state.previous_header_hash = crypto::hash_from_bytes(r.raw(32));
     state.cutter.restore(r.bytes());
+    state.recent_blocks.clear();
+    const std::uint32_t cached = r.u32();
+    for (std::uint32_t b = 0; b < cached; ++b) {
+      state.recent_blocks.push_back(ledger::Block::decode(r.bytes()));
+    }
   }
   r.expect_done();
 }

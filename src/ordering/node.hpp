@@ -14,6 +14,7 @@
 // cuts the partial block at the same position deterministically.
 #pragma once
 
+#include <deque>
 #include <memory>
 
 #include "ledger/block.hpp"
@@ -61,6 +62,14 @@ struct OrderingNodeOptions {
   /// HLF 1.0 sometimes requires a second signature per block (footnote 10);
   /// when set, each block costs two signature computations.
   bool double_sign = false;
+  /// Recent blocks kept per channel for re-announcement after a state
+  /// transfer (0 disables). A node that skipped blocks while catching up
+  /// never pushed them, and frontends need matching copies from a quorum —
+  /// so on install it re-signs and re-pushes this window. The cache rides in
+  /// the snapshot (block content is deterministic, so checkpoint digests
+  /// still agree across replicas); it is the one bounded exception to the
+  /// keep-no-chain rule of footnote 9.
+  std::size_t push_cache_blocks = 16;
 };
 
 class OrderingNode final : public smr::StateMachine, public smr::Replier {
@@ -76,6 +85,8 @@ class OrderingNode final : public smr::StateMachine, public smr::Replier {
   Bytes snapshot() const override;
   void restore(ByteView snapshot) override;
   void on_app_timer(std::uint64_t token) override;
+  void on_recover() override;
+  void on_state_installed() override;
 
   // Replier: block dissemination replaces per-request replies entirely.
   void on_executed(smr::Replica&, const smr::Request&, const Bytes&,
@@ -98,11 +109,13 @@ class OrderingNode final : public smr::StateMachine, public smr::Replier {
     BlockCutter cutter;
     std::uint64_t next_block_number;
     crypto::Hash256 previous_header_hash;
+    std::deque<ledger::Block> recent_blocks;  // re-announcement window
   };
 
   ChannelState& channel_state(const std::string& name);
   void emit_block(const std::string& channel, ChannelState& state,
                   std::vector<Bytes> envelopes);
+  void sign_and_push(std::string channel, ledger::Block block);
   void arm_batch_timer();
   void send_cut_markers();
 

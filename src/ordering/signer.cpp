@@ -1,5 +1,7 @@
 #include "ordering/signer.hpp"
 
+#include <stdexcept>
+
 #include "smr/replica.hpp"
 
 namespace bft::ordering {
@@ -18,6 +20,29 @@ bool EcdsaBlockSigner::verify(runtime::ProcessId signer,
   const auto sig = crypto::Signature::from_bytes(signature);
   if (!sig.ok()) return false;
   return smr::process_public_key(signer).verify(header_digest, sig.value());
+}
+
+CorruptingBlockSigner::CorruptingBlockSigner(std::shared_ptr<BlockSigner> inner)
+    : inner_(std::move(inner)) {
+  if (inner_ == nullptr) {
+    throw std::invalid_argument("CorruptingBlockSigner: null inner signer");
+  }
+}
+
+Bytes CorruptingBlockSigner::sign(const crypto::Hash256& header_digest) const {
+  Bytes signature = inner_->sign(header_digest);
+  // Flip bits across the first word so the result is well-formed enough to
+  // parse but can never verify against the node's public key.
+  for (std::size_t i = 0; i < signature.size() && i < 8; ++i) {
+    signature[i] ^= 0xa5;
+  }
+  return signature;
+}
+
+bool CorruptingBlockSigner::verify(runtime::ProcessId signer,
+                                   const crypto::Hash256& header_digest,
+                                   ByteView signature) const {
+  return inner_->verify(signer, header_digest, signature);
 }
 
 StubBlockSigner::StubBlockSigner(runtime::ProcessId node,

@@ -51,6 +51,23 @@ class EcdsaBlockSigner final : public BlockSigner {
   runtime::Duration cost_hint_;
 };
 
+/// Byzantine faulty signer: produces bit-flipped (invalid) signatures while
+/// verifying honestly. Wraps any backend; used by chaos tests to exercise the
+/// frontends' f+1-with-verification acceptance rule (footnote 8) against a
+/// node whose blocks are correct but whose signatures never check out.
+class CorruptingBlockSigner final : public BlockSigner {
+ public:
+  explicit CorruptingBlockSigner(std::shared_ptr<BlockSigner> inner);
+
+  Bytes sign(const crypto::Hash256& header_digest) const override;
+  bool verify(runtime::ProcessId signer, const crypto::Hash256& header_digest,
+              ByteView signature) const override;
+  runtime::Duration cost_hint() const override { return inner_->cost_hint(); }
+
+ private:
+  std::shared_ptr<BlockSigner> inner_;
+};
+
 /// Keyed-hash stand-in with identical interface and calibrated cost.
 class StubBlockSigner final : public BlockSigner {
  public:

@@ -70,6 +70,10 @@ class Actor {
   virtual void on_start(Env& env) { env_ = &env; }
   virtual void on_message(ProcessId from, ByteView payload) = 0;
   virtual void on_timer(std::uint64_t timer_id) = 0;
+  /// Called when the runtime resurrects this process after a crash fault.
+  /// Every timer and in-flight worker completion set before the crash is
+  /// gone; implementations must re-arm whatever their liveness depends on.
+  virtual void on_recover() {}
 
  protected:
   Env& env() const { return *env_; }

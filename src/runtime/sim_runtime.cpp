@@ -20,34 +20,71 @@ class SimCluster::ProcessEnv final : public Env {
 
   void send(ProcessId to, Bytes payload) override {
     if (cluster_.crashed_.count(id_)) return;
-    if (cluster_.filter_ &&
-        cluster_.filter_(id_, to, payload) == FilterAction::drop) {
-      return;
+    FilterVerdict verdict;
+    if (cluster_.filter_) verdict = cluster_.filter_(id_, to, payload);
+    if (verdict.action == FilterAction::deliver && cluster_.fault_model_) {
+      const sim::LinkVerdict lv = cluster_.fault_model_->decide(id_, to, now());
+      if (lv.action.has_value()) {
+        switch (*lv.action) {
+          case sim::LinkFaultKind::drop:
+            verdict = FilterAction::drop;
+            break;
+          case sim::LinkFaultKind::delay:
+            verdict = FilterVerdict(FilterAction::delay, lv.delay);
+            break;
+          case sim::LinkFaultKind::duplicate:
+            verdict = FilterVerdict(FilterAction::duplicate, lv.delay);
+            break;
+          case sim::LinkFaultKind::corrupt:
+            verdict = FilterAction::corrupt;
+            break;
+        }
+      }
     }
-    // Two-phase transfer: egress + propagation now (send order), ingress
-    // admission as a scheduled event so the receiving NIC serves messages in
-    // arrival order regardless of sender distance.
-    const auto transit =
-        cluster_.network_.begin_transit(id_, to, payload.size(), now());
-    if (!transit.needs_ingress) {
-      cluster_.deliver_message(id_, to, std::move(payload), transit.arrival);
-      return;
+
+    switch (verdict.action) {
+      case FilterAction::drop:
+        return;
+      case FilterAction::delay:
+        // The message is already on the wire: it leaves even if the sender
+        // crashes meanwhile, so the deferred transmit skips the crash check.
+        cluster_.scheduler_.schedule_at(
+            now() + std::max<Duration>(verdict.delay, 0),
+            [this, to, payload = std::move(payload)]() mutable {
+              transmit(to, std::move(payload), cluster_.scheduler_.now());
+            });
+        return;
+      case FilterAction::duplicate: {
+        Bytes copy = payload;
+        cluster_.scheduler_.schedule_at(
+            now() + std::max<Duration>(verdict.delay, 1),
+            [this, to, copy = std::move(copy)]() mutable {
+              transmit(to, std::move(copy), cluster_.scheduler_.now());
+            });
+        transmit(to, std::move(payload), now());
+        return;
+      }
+      case FilterAction::corrupt:
+        if (!payload.empty()) {
+          const std::size_t pos = cluster_.fault_rng_.uniform(payload.size());
+          payload[pos] ^=
+              static_cast<std::uint8_t>(1 + cluster_.fault_rng_.uniform(255));
+        }
+        transmit(to, std::move(payload), now());
+        return;
+      case FilterAction::deliver:
+        transmit(to, std::move(payload), now());
+        return;
     }
-    cluster_.scheduler_.schedule_at(
-        transit.arrival,
-        [this, to, payload = std::move(payload)]() mutable {
-          const sim::SimTime rx_done = cluster_.network_.finish_transit(
-              to, payload.size(), cluster_.scheduler_.now());
-          cluster_.deliver_message(id_, to, std::move(payload), rx_done);
-        });
   }
 
   std::uint64_t set_timer(Duration delay) override {
     Process& proc = cluster_.process(id_);
     const std::uint64_t id = proc.next_timer_id++;
-    cluster_.scheduler_.schedule_at(now() + delay, [this, id] {
+    const std::uint64_t inc = proc.incarnation;
+    cluster_.scheduler_.schedule_at(now() + delay, [this, id, inc] {
       Process& p = cluster_.process(id_);
-      if (cluster_.crashed_.count(id_)) return;
+      if (p.incarnation != inc || cluster_.crashed_.count(id_)) return;
       if (p.cancelled_timers.erase(id) > 0) return;
       activate(cluster_.scheduler_.now());
       p.actor->on_timer(id);
@@ -62,6 +99,7 @@ class SimCluster::ProcessEnv final : public Env {
   void submit_work(Duration cost_hint, std::function<Bytes()> work,
                    std::function<void(Bytes)> done) override {
     Process& proc = cluster_.process(id_);
+    const std::uint64_t inc = proc.incarnation;
     // Execute the computation immediately (zero wall-clock assumptions would
     // break signatures); deliver the result at the modelled completion time.
     Bytes result = work();
@@ -69,9 +107,10 @@ class SimCluster::ProcessEnv final : public Env {
         proc.cpu ? proc.cpu->run_worker_job(now(), cost_hint)
                  : now() + cost_hint;
     cluster_.scheduler_.schedule_at(
-        completion,
-        [this, done = std::move(done), result = std::move(result)]() mutable {
-          if (cluster_.crashed_.count(id_)) return;
+        completion, [this, inc, done = std::move(done),
+                     result = std::move(result)]() mutable {
+          Process& p = cluster_.process(id_);
+          if (p.incarnation != inc || cluster_.crashed_.count(id_)) return;
           activate(cluster_.scheduler_.now());
           done(std::move(result));
         });
@@ -89,13 +128,37 @@ class SimCluster::ProcessEnv final : public Env {
   void activate(sim::SimTime t) { logical_now_ = t; }
 
  private:
+  /// Hands one message (possibly a delayed or duplicated copy) to the network
+  /// model starting at `start`.
+  void transmit(ProcessId to, Bytes payload, sim::SimTime start) {
+    // Two-phase transfer: egress + propagation now (send order), ingress
+    // admission as a scheduled event so the receiving NIC serves messages in
+    // arrival order regardless of sender distance.
+    const auto transit =
+        cluster_.network_.begin_transit(id_, to, payload.size(), start);
+    if (!transit.needs_ingress) {
+      cluster_.deliver_message(id_, to, std::move(payload), transit.arrival);
+      return;
+    }
+    cluster_.scheduler_.schedule_at(
+        transit.arrival,
+        [this, to, payload = std::move(payload)]() mutable {
+          const sim::SimTime rx_done = cluster_.network_.finish_transit(
+              to, payload.size(), cluster_.scheduler_.now());
+          cluster_.deliver_message(id_, to, std::move(payload), rx_done);
+        });
+  }
+
   SimCluster& cluster_;
   ProcessId id_;
   sim::SimTime logical_now_ = 0;
 };
 
 SimCluster::SimCluster(sim::Network network, std::uint64_t seed)
-    : network_(std::move(network)), seed_rng_(seed) {}
+    : network_(std::move(network)),
+      seed_(seed),
+      seed_rng_(seed),
+      fault_rng_(seed ^ 0xc0ffee5eedULL) {}
 
 SimCluster::~SimCluster() = default;
 
@@ -128,7 +191,47 @@ void SimCluster::run_until(sim::SimTime deadline) {
   scheduler_.run_until(deadline);
 }
 
-void SimCluster::crash(ProcessId id) { crashed_.insert(id); }
+void SimCluster::crash(ProcessId id) {
+  if (!crashed_.insert(id).second) return;  // already down
+  const auto it = processes_.find(id);
+  if (it != processes_.end()) {
+    // Invalidate every pending timer and worker completion: a recovered
+    // process must not observe events armed by its previous incarnation.
+    ++it->second.incarnation;
+    it->second.cancelled_timers.clear();
+  }
+}
+
+void SimCluster::recover(ProcessId id) {
+  if (crashed_.erase(id) == 0) return;  // not crashed: nothing to do
+  Process& proc = process(id);
+  if (proc.started) {
+    proc.env->activate(scheduler_.now());
+    proc.actor->on_recover();
+  }
+}
+
+void SimCluster::restart(ProcessId id, Actor* fresh) {
+  if (fresh == nullptr) throw std::invalid_argument("restart: null actor");
+  Process& proc = process(id);
+  crashed_.erase(id);
+  ++proc.incarnation;
+  proc.cancelled_timers.clear();
+  proc.actor = fresh;
+  proc.started = true;
+  proc.env->activate(scheduler_.now());
+  fresh->on_start(*proc.env);
+}
+
+void SimCluster::install_fault_plan(const sim::FaultPlan& plan) {
+  for (const sim::ProcessFault& c : plan.crashes) {
+    scheduler_.schedule_at(c.at, [this, p = c.process] { crash(p); });
+  }
+  for (const sim::ProcessFault& r : plan.recoveries) {
+    scheduler_.schedule_at(r.at, [this, p = r.process] { recover(p); });
+  }
+  fault_model_.emplace(plan, seed_);
+}
 
 void SimCluster::schedule_at(sim::SimTime at, std::function<void()> fn) {
   scheduler_.schedule_at(at, std::move(fn));

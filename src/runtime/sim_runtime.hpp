@@ -11,13 +11,37 @@
 
 #include "runtime/actor.hpp"
 #include "sim/cpu.hpp"
+#include "sim/faults.hpp"
 #include "sim/network.hpp"
 #include "sim/scheduler.hpp"
 
 namespace bft::runtime {
 
 /// Verdict of a message filter (fault injection for tests).
-enum class FilterAction { deliver, drop };
+enum class FilterAction : std::uint8_t {
+  deliver,
+  drop,
+  /// Deliver after an extra latency (FilterVerdict::delay).
+  delay,
+  /// Deliver normally plus a second copy after FilterVerdict::delay.
+  duplicate,
+  /// Flip one seeded-random byte of the payload, then deliver. Receivers must
+  /// treat the result as Byzantine input (DecodeError, bad signature, ...).
+  corrupt,
+};
+
+/// A filter's full answer; implicitly constructible from a bare FilterAction
+/// so existing deliver/drop filters keep working unchanged.
+struct FilterVerdict {
+  FilterVerdict(FilterAction a = FilterAction::deliver, Duration d = 0)
+      : action(a), delay(d) {}
+  FilterAction action;
+  Duration delay;  // used by delay / duplicate
+
+  friend bool operator==(const FilterVerdict& v, FilterAction a) {
+    return v.action == a;
+  }
+};
 
 class SimCluster {
  public:
@@ -38,14 +62,33 @@ class SimCluster {
   sim::SimTime now() const { return scheduler_.now(); }
   std::uint64_t executed_events() const { return scheduler_.executed_events(); }
 
-  /// Permanently stops delivering events to `id` (crash fault).
+  /// Stops delivering events to `id` (crash fault). Pending timers and worker
+  /// completions of the process are invalidated, so a later recover() starts
+  /// from a clean event slate.
   void crash(ProcessId id);
   bool crashed(ProcessId id) const { return crashed_.count(id) > 0; }
 
+  /// Resurrects a crashed process with its memory intact (a fast restart from
+  /// a warm image). The actor's on_recover() runs so it can re-arm timers;
+  /// messages that arrived during the outage are lost.
+  void recover(ProcessId id);
+
+  /// Resurrects a crashed process as `fresh`, a brand-new actor with empty
+  /// state (a cold restart losing all volatile memory). `fresh` gets
+  /// on_start() and must rebuild its state through the protocol (e.g. the
+  /// replica state-transfer path).
+  void restart(ProcessId id, Actor* fresh);
+
   /// Installs a message filter consulted on every send; nullptr clears it.
-  using Filter = std::function<FilterAction(ProcessId from, ProcessId to,
-                                            ByteView payload)>;
+  /// A non-deliver verdict from the filter wins over the fault plan.
+  using Filter = std::function<FilterVerdict(ProcessId from, ProcessId to,
+                                             ByteView payload)>;
   void set_filter(Filter filter) { filter_ = std::move(filter); }
+
+  /// Schedules the plan's crashes/recoveries and applies its partitions and
+  /// link faults to every subsequent send. Call before run_until; replaces
+  /// any previously installed plan.
+  void install_fault_plan(const sim::FaultPlan& plan);
 
   /// Schedules an arbitrary callback (workload injection from benches).
   void schedule_at(sim::SimTime at, std::function<void()> fn);
@@ -64,6 +107,9 @@ class SimCluster {
     std::uint64_t next_timer_id = 1;
     std::set<std::uint64_t> cancelled_timers;
     bool started = false;
+    /// Bumped on every crash; events scheduled for an older incarnation are
+    /// discarded when they fire (timers, worker completions).
+    std::uint64_t incarnation = 0;
   };
 
   void deliver_message(ProcessId from, ProcessId to, Bytes payload,
@@ -72,10 +118,13 @@ class SimCluster {
 
   sim::Scheduler scheduler_;
   sim::Network network_;
+  std::uint64_t seed_;
   Rng seed_rng_;
+  Rng fault_rng_;  // corrupt-action byte flips
   std::map<ProcessId, Process> processes_;
   std::set<ProcessId> crashed_;
   Filter filter_;
+  std::optional<sim::LinkFaultModel> fault_model_;
 };
 
 }  // namespace bft::runtime

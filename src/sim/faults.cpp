@@ -1,0 +1,62 @@
+#include "sim/faults.hpp"
+
+namespace bft::sim {
+
+FaultPlan& FaultPlan::crash_at(SimTime at, ProcessId p) {
+  crashes.push_back(ProcessFault{at, p});
+  return *this;
+}
+
+FaultPlan& FaultPlan::recover_at(SimTime at, ProcessId p) {
+  recoveries.push_back(ProcessFault{at, p});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_between(SimTime at, SimTime until, ProcessId p) {
+  crash_at(at, p);
+  recover_at(until, p);
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition_between(SimTime from, SimTime until,
+                                        std::vector<ProcessId> group) {
+  partitions.push_back(Partition{from, until, std::move(group)});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link(LinkFault fault) {
+  link_faults.push_back(std::move(fault));
+  return *this;
+}
+
+LinkFaultModel::LinkFaultModel(const FaultPlan& plan,
+                               std::uint64_t runtime_seed)
+    : partitions_(plan.partitions),
+      link_faults_(plan.link_faults),
+      // Mix the plan's own seed with the runtime seed so distinct plans on
+      // the same cluster (and the same plan on distinct clusters) draw
+      // independent fault patterns.
+      rng_(plan.seed * 0x9e3779b97f4a7c15ULL + runtime_seed) {}
+
+LinkVerdict LinkFaultModel::decide(ProcessId from, ProcessId to, SimTime now) {
+  for (const Partition& p : partitions_) {
+    if (p.active_at(now) && p.severs(from, to)) {
+      return LinkVerdict{LinkFaultKind::drop, 0};
+    }
+  }
+  for (const LinkFault& f : link_faults_) {
+    if (!f.active_at(now) || !f.matches(from, to)) continue;
+    // The coin is flipped only for matching rules, so adding a rule for one
+    // link does not perturb the fault pattern of unrelated links beyond the
+    // shared stream draw — and the whole run stays seed-reproducible.
+    if (f.probability < 1.0 && rng_.uniform01() >= f.probability) continue;
+    SimTime delay = f.delay_min;
+    if (f.delay_max > f.delay_min) {
+      delay = rng_.uniform_range(f.delay_min, f.delay_max);
+    }
+    return LinkVerdict{f.kind, delay};
+  }
+  return LinkVerdict{};
+}
+
+}  // namespace bft::sim

@@ -67,6 +67,40 @@ void Replica::on_start(runtime::Env& env) {
   }
 }
 
+void Replica::on_recover() {
+  // The crash wiped every pending timer and worker completion. Reset the
+  // bookkeeping that assumed they were armed, then restart the liveness
+  // machinery. Decisions, instances and the regency survive in memory — a
+  // warm restart behaves like the tail end of a long partition, and catch-up
+  // uses the normal stall-detector / state-transfer path. Proposals we made
+  // before the crash keep their `proposed_by_me` marks: re-proposing a slot
+  // already sent to peers would be equivocation, so lost proposals are left
+  // for the regency-change machinery to resolve.
+  request_timer_ = 0;
+  forwarded_phase_ = false;
+  stall_timer_ = 0;
+  stall_anchor_cid_ = 0;
+  transfer_timer_ = 0;
+  sync_timer_ = 0;
+  app_timers_.clear();
+  for (auto& [key, entry] : pending_) {
+    (void)key;
+    entry.inflight = false;  // batches in flight at the crash may be lost
+  }
+  if (transferring_) {
+    transferring_ = false;
+    begin_state_transfer();  // the reply collection died with the crash
+  } else if (!is_active_member()) {
+    begin_state_transfer();  // learner resumes polling for admission
+  }
+  if (sync_in_progress_) {
+    sync_timer_ = env().set_timer(params_.sync_deadline);
+  }
+  arm_request_timer();
+  maybe_propose();
+  app_->on_recover();
+}
+
 void Replica::on_message(ProcessId from, ByteView payload) {
   try {
     switch (peek_kind(payload)) {
@@ -78,7 +112,7 @@ void Replica::on_message(ProcessId from, ByteView payload) {
         break;
       case MsgKind::forward:
         charge(params_.costs.per_request);
-        handle_request(from, decode_forward(payload), true);
+        handle_forward(from, decode_forward(payload));
         break;
       case MsgKind::propose:
         charge(params_.costs.per_consensus_msg +
@@ -147,7 +181,12 @@ void Replica::on_timer(std::uint64_t timer_id) {
         std::uint32_t sent = 0;
         for (const auto& [key, entry] : pending_) {
           (void)key;
-          env().send(leader, encode_forward(entry.request));
+          Forward fwd{entry.request, {}};
+          if (params_.sign_writes) {
+            fwd.signature =
+                signing_key_.sign(forward_digest(fwd.request)).to_bytes();
+          }
+          env().send(leader, encode_forward(fwd));
           if (++sent >= params_.batch_max) break;
         }
       }
@@ -205,12 +244,30 @@ void Replica::on_timer(std::uint64_t timer_id) {
 // Requests and batching
 // --------------------------------------------------------------------------
 
+void Replica::handle_forward(ProcessId from, const Forward& fwd) {
+  // Forwards inject (client, seq) pairs straight into the batch pool, so
+  // only accept them from cluster members, authenticated like WRITEs. A
+  // forged seq would poison last_executed_seq_ and dedup-drop every later
+  // genuine request from that client.
+  if (!config_.contains(from)) return;
+  if (params_.sign_writes) {
+    const auto sig = crypto::Signature::from_bytes(fwd.signature);
+    if (!sig.ok() || !process_public_key(from).verify(
+                         forward_digest(fwd.request), sig.value())) {
+      BFT_LOG(warn) << "replica " << self_ << ": bad FORWARD signature from "
+                    << from;
+      return;
+    }
+  }
+  handle_request(from, fwd.request, true);
+}
+
 void Replica::handle_request(ProcessId from, const Request& request,
                              bool forwarded) {
   (void)from;
   if (!is_active_member()) return;
-  const auto it = last_executed_seq_.find(request.client);
-  if (it != last_executed_seq_.end() && request.seq <= it->second) {
+  const auto it = executed_seqs_.find(request.client);
+  if (it != executed_seqs_.end() && it->second.contains(request.seq)) {
     // Already executed: resend the cached reply so a retrying client settles.
     if (!forwarded && replier_ == nullptr) {
       const auto cache_it = reply_cache_.find(request.client);
@@ -554,9 +611,15 @@ void Replica::execute_batch(ConsensusId cid, ByteView value, bool tentative) {
   for (std::size_t i = 0; i < batch.requests.size(); ++i) {
     const Request& request = batch.requests[i];
     ctx.index_in_batch = i;
-    auto& last_seq = last_executed_seq_[request.client];
-    if (request.seq <= last_seq) continue;  // duplicate (ordered twice or replayed)
-    last_seq = request.seq;
+    auto& executed = executed_seqs_[request.client];
+    if (executed.contains(request.seq)) {
+      // Duplicate (ordered twice or replayed). Still consume the pending
+      // entry: leaving it would re-propose the request forever, and the
+      // stale wall starves younger requests out of every batch.
+      if (!tentative) pending_.erase({request.client, request.seq});
+      continue;
+    }
+    executed.insert(request.seq);
 
     Bytes reply;
     if (request.kind == RequestKind::reconfig) {
@@ -636,10 +699,12 @@ Bytes Replica::make_core_snapshot() const {
   w.bytes(app_->snapshot());
   w.bytes(config_.encode());
   w.u64(confirm_cursor_);
-  w.u32(static_cast<std::uint32_t>(last_executed_seq_.size()));
-  for (const auto& [client, seq] : last_executed_seq_) {
+  w.u32(static_cast<std::uint32_t>(executed_seqs_.size()));
+  for (const auto& [client, window] : executed_seqs_) {
     w.u32(client);
-    w.u64(seq);
+    w.u64(window.low);
+    w.u32(static_cast<std::uint32_t>(window.above.size()));
+    for (const std::uint64_t seq : window.above) w.u64(seq);
   }
   std::size_t reply_entries = 0;
   for (const auto& [client, cache] : reply_cache_) {
@@ -665,11 +730,14 @@ void Replica::restore_core_snapshot(ByteView snapshot) {
   config_ = ClusterConfig::decode(r.bytes());
   confirm_cursor_ = r.u64();
   tentative_cursor_ = confirm_cursor_;
-  last_executed_seq_.clear();
+  executed_seqs_.clear();
   const std::uint32_t seqs = r.u32();
   for (std::uint32_t i = 0; i < seqs; ++i) {
     const std::uint32_t client = r.u32();
-    last_executed_seq_[client] = r.u64();
+    ExecutedWindow& window = executed_seqs_[client];
+    window.low = r.u64();
+    const std::uint32_t above = r.u32();
+    for (std::uint32_t j = 0; j < above; ++j) window.above.insert(r.u64());
   }
   reply_cache_.clear();
   const std::uint32_t replies = r.u32();
@@ -1107,6 +1175,19 @@ void Replica::adopt_state(ConsensusId snapshot_cid, const Bytes& snapshot,
   }
   replaying_ = false;
 
+  // The transferred state may have executed requests we still hold as
+  // pending (their execution happened inside the snapshot we jumped over);
+  // drop them or we would keep proposing already-ordered requests.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const auto& [client, seq] = it->first;
+    const auto seq_it = executed_seqs_.find(client);
+    if (seq_it != executed_seqs_.end() && seq_it->second.contains(seq)) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
   order_frontier_ = std::max(order_frontier_, confirm_cursor_);
   try_apply();  // consume any surviving post-transfer decisions
   regency_ = std::max(regency_, epoch_hint);
@@ -1116,6 +1197,7 @@ void Replica::adopt_state(ConsensusId snapshot_cid, const Bytes& snapshot,
     env().cancel_timer(transfer_timer_);
     transfer_timer_ = 0;
   }
+  app_->on_state_installed();
   if (!is_active_member()) {
     // Still a learner: keep polling until a reconfiguration admits us.
     transfer_timer_ = env().set_timer(params_.state_transfer_retry);

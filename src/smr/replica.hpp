@@ -51,6 +51,11 @@ class Replica : public runtime::Actor {
   void on_start(runtime::Env& env) override;
   void on_message(runtime::ProcessId from, ByteView payload) override;
   void on_timer(std::uint64_t timer_id) override;
+  /// Warm restart after a crash fault: every timer armed before the crash is
+  /// gone, so the liveness machinery (request forwarding, stall detection,
+  /// state transfer, sync deadline, app timers) is re-armed here. Protocol
+  /// state survives; catch-up runs through the normal state-transfer path.
+  void on_recover() override;
 
   // --- introspection (tests, benches, application modules) ---
   runtime::ProcessId self_id() const { return self_; }
@@ -65,6 +70,13 @@ class Replica : public runtime::Actor {
   std::uint64_t executed_request_count() const { return executed_count_; }
   std::uint64_t decided_batch_count() const { return decided_count_; }
   bool state_transfer_in_progress() const { return transferring_; }
+  std::size_t pending_request_count() const { return pending_.size(); }
+  /// Contiguously-executed sequence watermark for `client`: every seq up to
+  /// and including the returned value has executed (0 if none).
+  std::uint64_t last_executed_seq(std::uint32_t client) const {
+    const auto it = executed_seqs_.find(client);
+    return it == executed_seqs_.end() ? 0 : it->second.low;
+  }
   const std::set<runtime::ProcessId>& receivers() const { return receivers_; }
 
   // --- services for the application / custom replier ---
@@ -103,6 +115,7 @@ class Replica : public runtime::Actor {
   // -- message handlers --
   void handle_request(runtime::ProcessId from, const Request& request,
                       bool forwarded);
+  void handle_forward(runtime::ProcessId from, const Forward& fwd);
   void handle_propose(runtime::ProcessId from, const Propose& msg);
   void handle_write(runtime::ProcessId from, const WriteMsg& msg);
   void handle_accept(runtime::ProcessId from, const AcceptMsg& msg);
@@ -187,7 +200,31 @@ class Replica : public runtime::Actor {
   std::map<ConsensusId, ValueHash> tentative_hashes_;
   std::optional<Bytes> rollback_snapshot_;
 
-  std::map<std::uint32_t, std::uint64_t> last_executed_seq_;  // per client
+  // Exact record of which sequence numbers executed for one client.
+  // Consensus totally orders batches but does not guarantee client-FIFO: a
+  // slot proposed with older requests can be abandoned by a regency change
+  // and re-decided after younger requests already executed. A max-watermark
+  // would mark those older seqs "done" and drop them forever, so we keep the
+  // contiguous low watermark plus the exact set executed above it. `above`
+  // drains into `low` as gaps fill; its size is bounded in practice by how
+  // many requests consensus can reorder (inflight slots x batch_max).
+  struct ExecutedWindow {
+    std::uint64_t low = 0;         // all seqs <= low have executed
+    std::set<std::uint64_t> above; // executed seqs > low (non-contiguous)
+
+    bool contains(std::uint64_t seq) const {
+      return seq <= low || above.count(seq) > 0;
+    }
+    void insert(std::uint64_t seq) {
+      if (contains(seq)) return;
+      above.insert(seq);
+      while (!above.empty() && *above.begin() == low + 1) {
+        ++low;
+        above.erase(above.begin());
+      }
+    }
+  };
+  std::map<std::uint32_t, ExecutedWindow> executed_seqs_;  // per client
   // Recent replies per client (bounded window) so retrying clients with
   // several requests in flight can all be settled from cache.
   static constexpr std::size_t kReplyCacheWindow = 64;

@@ -42,6 +42,16 @@ class StateMachine {
   /// Fired for timers the application armed via Replica::set_app_timer.
   /// Local (non-replicated) machinery only — batch timeouts and the like.
   virtual void on_app_timer(std::uint64_t token) { (void)token; }
+
+  /// Called when the hosting replica recovers from a crash fault. Every app
+  /// timer armed before the crash is gone; re-arm local machinery here.
+  virtual void on_recover() {}
+
+  /// Called after a state transfer installed a snapshot (and replayed the
+  /// agreed log on top of it). Restores and replayed executions must stay
+  /// side-effect free, so an app with external observers re-announces here —
+  /// e.g. the ordering node re-pushes its recent blocks to frontends.
+  virtual void on_state_installed() {}
 };
 
 /// Reply routing. The default implementation (used when none is supplied)

@@ -122,11 +122,40 @@ Request decode_request(ByteView data) {
   return decode_request_like(MsgKind::request, data);
 }
 
-Bytes encode_forward(const Request& req) {
-  return encode_request_like(MsgKind::forward, req);
+Bytes encode_forward(const Forward& f) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgKind::forward));
+  w.u32(f.request.client);
+  w.u64(f.request.seq);
+  w.u8(static_cast<std::uint8_t>(f.request.kind));
+  w.bytes(f.request.payload);
+  w.bytes(f.signature);
+  return std::move(w).take();
 }
-Request decode_forward(ByteView data) {
-  return decode_request_like(MsgKind::forward, data);
+
+Forward decode_forward(ByteView data) {
+  Reader r(data);
+  expect_kind(r, MsgKind::forward);
+  Forward f;
+  f.request.client = r.u32();
+  f.request.seq = r.u64();
+  const std::uint8_t k = r.u8();
+  if (k > 1) throw DecodeError("bad request kind");
+  f.request.kind = static_cast<RequestKind>(k);
+  f.request.payload = r.bytes();
+  f.signature = r.bytes();
+  r.expect_done();
+  return f;
+}
+
+crypto::Hash256 forward_digest(const Request& r) {
+  Writer w;
+  w.str("bft.forward");
+  w.u32(r.client);
+  w.u64(r.seq);
+  w.u8(static_cast<std::uint8_t>(r.kind));
+  w.bytes(r.payload);
+  return crypto::sha256(w.data());
 }
 
 Bytes encode_reply(const Reply& reply) {

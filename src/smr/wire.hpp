@@ -66,8 +66,19 @@ struct Batch {
 Bytes encode_request(const Request& r);
 Request decode_request(ByteView data);
 
-Bytes encode_forward(const Request& r);
-Request decode_forward(ByteView data);
+/// A timed-out request relayed to the suspected-slow leader. Unlike client
+/// requests (whose effects are vouched by the 2f+1/f+1 reply quorum), a
+/// forward is trusted enough to enter the leader's batch pool directly, so it
+/// carries the relaying replica's signature: otherwise one corrupted link
+/// could forge a (client, seq) pair and poison duplicate-detection state.
+struct Forward {
+  Request request;
+  Bytes signature;  // over forward_digest(request); empty when unsigned
+};
+Bytes encode_forward(const Forward& f);
+Forward decode_forward(ByteView data);
+/// Digest covered by a forward signature.
+crypto::Hash256 forward_digest(const Request& r);
 
 struct Reply {
   std::uint64_t client_seq = 0;

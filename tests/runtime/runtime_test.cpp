@@ -40,6 +40,11 @@ class Pinger : public Actor {
   }
   void on_timer(std::uint64_t) override {}
 
+  /// Test-driven injection after start (workload scheduling).
+  void send_to_peer(const std::string& text) {
+    env().send(peer_, to_bytes(text));
+  }
+
   const std::vector<std::string>& replies() const { return replies_; }
 
  private:
@@ -138,6 +143,141 @@ TEST(SimRuntimeTest, CrashStopsDelivery) {
   cluster.crash(1);
   cluster.run_until(sim::kSecond);
   EXPECT_TRUE(pinger.replies().empty());
+}
+
+/// Counts recoveries and re-arms a timer on each one.
+class RecoveringActor : public Actor {
+ public:
+  void on_start(Env& env) override {
+    Actor::on_start(env);
+    env.set_timer(msec(10));
+  }
+  void on_message(ProcessId from, ByteView) override { senders_.push_back(from); }
+  void on_timer(std::uint64_t) override { ++timer_fires_; }
+  void on_recover() override {
+    ++recoveries_;
+    env().set_timer(msec(10));
+  }
+
+  int recoveries_ = 0;
+  int timer_fires_ = 0;
+  std::vector<ProcessId> senders_;
+};
+
+TEST(SimRuntimeTest, RecoverResumesDeliveryAndRunsOnRecover) {
+  SimCluster cluster(sim::make_lan(2, kMillisecond, {}, 1), 1);
+  Pinger pinger(1, 0);
+  RecoveringActor actor;
+  cluster.add_process(0, &pinger);
+  cluster.add_process(1, &actor);
+  cluster.start();
+  cluster.schedule_at(5 * kMillisecond, [&] { cluster.crash(1); });
+  // Lost while down: the wire is not a mailbox.
+  cluster.schedule_at(10 * kMillisecond,
+                      [&] { pinger.send_to_peer("during"); });
+  cluster.schedule_at(50 * kMillisecond, [&] { cluster.recover(1); });
+  cluster.schedule_at(60 * kMillisecond,
+                      [&] { pinger.send_to_peer("after"); });
+  cluster.run_until(sim::kSecond);
+  EXPECT_FALSE(cluster.crashed(1));
+  EXPECT_EQ(actor.recoveries_, 1);
+  // The pre-crash timer died with the crash; only the re-armed one fires.
+  EXPECT_EQ(actor.timer_fires_, 1);
+  ASSERT_EQ(actor.senders_.size(), 1u);  // "during" was lost, "after" arrived
+}
+
+TEST(SimRuntimeTest, CrashInvalidatesPendingTimers) {
+  SimCluster cluster(sim::make_lan(1, 0, {}, 1), 1);
+  RecoveringActor actor;
+  cluster.add_process(0, &actor);
+  cluster.start();
+  cluster.schedule_at(1 * kMillisecond, [&] { cluster.crash(0); });
+  cluster.schedule_at(2 * kMillisecond, [&] { cluster.recover(0); });
+  cluster.run_until(sim::kSecond);
+  // Start-time timer (armed at 0, due at 10ms) must not fire after the
+  // crash at 1ms; the recovery's re-armed timer is the only survivor.
+  EXPECT_EQ(actor.timer_fires_, 1);
+}
+
+TEST(SimRuntimeTest, RestartReplacesActorWithFreshState) {
+  SimCluster cluster(sim::make_lan(2, kMillisecond, {}, 1), 1);
+  Pinger pinger(1, 0);
+  RecoveringActor first;
+  RecoveringActor second;
+  cluster.add_process(0, &pinger);
+  cluster.add_process(1, &first);
+  cluster.start();
+  cluster.schedule_at(20 * kMillisecond, [&] { cluster.crash(1); });
+  cluster.schedule_at(30 * kMillisecond, [&] { cluster.restart(1, &second); });
+  cluster.schedule_at(40 * kMillisecond,
+                      [&] { pinger.send_to_peer("hello"); });
+  cluster.run_until(sim::kSecond);
+  // Cold restart: the replacement got on_start (not on_recover) and now
+  // receives traffic addressed to the process id.
+  EXPECT_EQ(second.recoveries_, 0);
+  EXPECT_EQ(second.senders_.size(), 1u);
+  EXPECT_GE(second.timer_fires_, 1);
+  EXPECT_EQ(first.senders_.size(), 0u);
+}
+
+TEST(SimRuntimeTest, FilterDelayPostponesDelivery) {
+  SimCluster cluster(sim::make_lan(2, kMillisecond, {}, 1), 1);
+  Pinger pinger(1, 1);
+  Ponger ponger;
+  cluster.add_process(0, &pinger);
+  cluster.add_process(1, &ponger);
+  cluster.set_filter([](ProcessId from, ProcessId, ByteView) {
+    return from == 0 ? FilterVerdict(FilterAction::delay, msec(200))
+                     : FilterVerdict(FilterAction::deliver);
+  });
+  cluster.run_until(100 * kMillisecond);
+  EXPECT_TRUE(pinger.replies().empty());  // ping still in flight
+  cluster.run_until(sim::kSecond);
+  EXPECT_EQ(pinger.replies().size(), 1u);
+}
+
+TEST(SimRuntimeTest, FilterDuplicateDeliversTwoCopies) {
+  SimCluster cluster(sim::make_lan(2, kMillisecond, {}, 1), 1);
+  Pinger pinger(1, 1);
+  Ponger ponger;
+  cluster.add_process(0, &pinger);
+  cluster.add_process(1, &ponger);
+  cluster.set_filter([](ProcessId from, ProcessId, ByteView) {
+    return from == 0 ? FilterVerdict(FilterAction::duplicate, msec(5))
+                     : FilterVerdict(FilterAction::deliver);
+  });
+  cluster.run_until(sim::kSecond);
+  EXPECT_EQ(pinger.replies().size(), 2u);  // the ponger answered both copies
+}
+
+TEST(SimRuntimeTest, FilterCorruptFlipsExactlyOneByte) {
+  class Recorder : public Actor {
+   public:
+    void on_message(ProcessId, ByteView payload) override {
+      received_.emplace_back(payload.begin(), payload.end());
+    }
+    void on_timer(std::uint64_t) override {}
+    std::vector<Bytes> received_;
+  };
+  SimCluster cluster(sim::make_lan(2, kMillisecond, {}, 1), 1);
+  Pinger pinger(1, 1);
+  Recorder recorder;
+  cluster.add_process(0, &pinger);
+  cluster.add_process(1, &recorder);
+  cluster.set_filter([](ProcessId from, ProcessId, ByteView) {
+    return from == 0 ? FilterVerdict(FilterAction::corrupt)
+                     : FilterVerdict(FilterAction::deliver);
+  });
+  cluster.run_until(sim::kSecond);
+  ASSERT_EQ(recorder.received_.size(), 1u);
+  const Bytes original = to_bytes("ping:0");
+  const Bytes& got = recorder.received_[0];
+  ASSERT_EQ(got.size(), original.size());
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i] != original[i]) ++differing;
+  }
+  EXPECT_EQ(differing, 1u);
 }
 
 TEST(SimRuntimeTest, FilterDropsMatchingMessages) {

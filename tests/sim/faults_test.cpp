@@ -1,0 +1,141 @@
+// Unit tests for the declarative fault plan and its deterministic
+// message-level evaluator (sim/faults.hpp). These run below the runtime:
+// verdicts are checked directly, without a cluster.
+#include <gtest/gtest.h>
+
+#include "sim/faults.hpp"
+
+namespace bft::sim {
+namespace {
+
+TEST(FaultPlanTest, BuildersPopulateSchedule) {
+  FaultPlan plan;
+  plan.crash_at(100, 2)
+      .recover_at(200, 2)
+      .crash_between(300, 400, 1)
+      .partition_between(50, 150, {0, 3});
+  ASSERT_EQ(plan.crashes.size(), 2u);
+  ASSERT_EQ(plan.recoveries.size(), 2u);
+  EXPECT_EQ(plan.crashes[1].at, 300u);
+  EXPECT_EQ(plan.crashes[1].process, 1u);
+  EXPECT_EQ(plan.recoveries[1].at, 400u);
+  ASSERT_EQ(plan.partitions.size(), 1u);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(FaultPlan{}.empty());
+}
+
+TEST(FaultPlanTest, PartitionSeversOnlyAcrossTheBoundary) {
+  Partition p;
+  p.from = 10;
+  p.until = 20;
+  p.group = {0, 1};
+  EXPECT_TRUE(p.severs(0, 2));   // inside <-> outside
+  EXPECT_TRUE(p.severs(3, 1));   // either direction
+  EXPECT_FALSE(p.severs(0, 1));  // both inside
+  EXPECT_FALSE(p.severs(2, 3));  // both outside
+  EXPECT_TRUE(p.active_at(10));
+  EXPECT_TRUE(p.active_at(19));
+  EXPECT_FALSE(p.active_at(9));
+  EXPECT_FALSE(p.active_at(20));  // heals exactly at `until`
+}
+
+TEST(LinkFaultModelTest, PartitionDropsEverythingAcrossBoundary) {
+  FaultPlan plan;
+  plan.partition_between(0, 100, {1});
+  LinkFaultModel model(plan, 7);
+  for (SimTime t = 0; t < 100; t += 10) {
+    EXPECT_EQ(model.decide(1, 0, t).action, LinkFaultKind::drop);
+    EXPECT_EQ(model.decide(0, 1, t).action, LinkFaultKind::drop);
+    EXPECT_FALSE(model.decide(0, 2, t).action.has_value());
+  }
+  // After healing the link is clean again.
+  EXPECT_FALSE(model.decide(0, 1, 100).action.has_value());
+}
+
+TEST(LinkFaultModelTest, WindowAndEndpointsRestrictTheFault) {
+  LinkFault f;
+  f.kind = LinkFaultKind::drop;
+  f.from = 50;
+  f.until = 60;
+  f.src = 0;
+  f.dst = 1;
+  f.probability = 1.0;
+  FaultPlan plan;
+  plan.link(f);
+  LinkFaultModel model(plan, 3);
+  EXPECT_EQ(model.decide(0, 1, 55).action, LinkFaultKind::drop);
+  EXPECT_FALSE(model.decide(0, 1, 49).action.has_value());  // before window
+  EXPECT_FALSE(model.decide(0, 1, 60).action.has_value());  // after window
+  EXPECT_FALSE(model.decide(1, 0, 55).action.has_value());  // reverse link
+  EXPECT_FALSE(model.decide(0, 2, 55).action.has_value());  // other dst
+}
+
+TEST(LinkFaultModelTest, DelayBoundsRespected) {
+  LinkFault f;
+  f.kind = LinkFaultKind::delay;
+  f.probability = 1.0;
+  f.delay_min = 10;
+  f.delay_max = 20;
+  FaultPlan plan;
+  plan.link(f);
+  LinkFaultModel model(plan, 11);
+  for (int i = 0; i < 100; ++i) {
+    const LinkVerdict v = model.decide(0, 1, 5);
+    ASSERT_EQ(v.action, LinkFaultKind::delay);
+    EXPECT_GE(v.delay, 10);
+    EXPECT_LE(v.delay, 20);
+  }
+}
+
+TEST(LinkFaultModelTest, ZeroProbabilityNeverFires) {
+  LinkFault f;
+  f.kind = LinkFaultKind::corrupt;
+  f.probability = 0.0;
+  FaultPlan plan;
+  plan.link(f);
+  LinkFaultModel model(plan, 13);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(model.decide(0, 1, 1).action.has_value());
+  }
+}
+
+TEST(LinkFaultModelTest, SameSeedSameVerdictSequence) {
+  const auto sample = [](std::uint64_t seed) {
+    LinkFault f;
+    f.kind = LinkFaultKind::drop;
+    f.probability = 0.5;
+    FaultPlan plan;
+    plan.link(f);
+    LinkFaultModel model(plan, seed);
+    std::vector<bool> verdicts;
+    for (int i = 0; i < 256; ++i) {
+      verdicts.push_back(model.decide(0, 1, 1).action.has_value());
+    }
+    return verdicts;
+  };
+  EXPECT_EQ(sample(21), sample(21));  // reproducible
+  EXPECT_NE(sample(21), sample(22));  // but seed-sensitive
+}
+
+TEST(LinkFaultModelTest, PlanSeedCombinesWithRuntimeSeed) {
+  LinkFault f;
+  f.kind = LinkFaultKind::drop;
+  f.probability = 0.5;
+  FaultPlan a;
+  a.link(f);
+  a.seed = 1;
+  FaultPlan b = a;
+  b.seed = 2;
+  const auto sample = [](const FaultPlan& plan) {
+    LinkFaultModel model(plan, 99);
+    std::vector<bool> verdicts;
+    for (int i = 0; i < 256; ++i) {
+      verdicts.push_back(model.decide(0, 1, 1).action.has_value());
+    }
+    return verdicts;
+  };
+  EXPECT_NE(sample(a), sample(b));
+}
+
+}  // namespace
+}  // namespace bft::sim

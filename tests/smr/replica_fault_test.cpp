@@ -198,6 +198,79 @@ TEST(ReplicaFaultTest, IsolatedReplicaCatchesUpViaStateTransfer) {
   EXPECT_TRUE(h.replicas_agree({0, 1, 2, 3}));
 }
 
+TEST(ReplicaFaultTest, CrashedThenRecoveredReplicaCatchesUpViaStateTransfer) {
+  ReplicaParams p = fault_params();
+  p.checkpoint_period = 8;
+  p.state_transfer_gap = 4;
+  p.stall_timeout = runtime::msec(400);
+  SimHarness h(4, 1, p);
+  // Replica 3 crashes at 500ms and comes back warm at 3s, having missed a
+  // window of decisions that spans several checkpoints.
+  h.cluster.schedule_at(500 * kMillisecond, [&h] { h.cluster.crash(3); });
+  h.cluster.schedule_at(3 * kSecond, [&h] { h.cluster.recover(3); });
+  for (int i = 0; i < 40; ++i) {
+    h.invoke_at(kMillisecond + i * 20 * kMillisecond, 0, delta_payload(1));
+  }
+  // Traffic after the recovery lets the stall detector notice the gap.
+  for (int i = 0; i < 10; ++i) {
+    h.invoke_at(4 * kSecond + i * 20 * kMillisecond, 0, delta_payload(1));
+  }
+  h.cluster.run_until(20 * kSecond);
+  EXPECT_EQ(h.machines[0]->value(), 50u);
+  EXPECT_EQ(h.machines[3]->value(), 50u) << "recovered replica failed to catch up";
+  EXPECT_TRUE(h.replicas_agree({0, 1, 2, 3}));
+}
+
+TEST(ReplicaFaultTest, ColdRestartedReplicaRebuildsFromProtocol) {
+  ReplicaParams p = fault_params();
+  p.checkpoint_period = 8;
+  p.state_transfer_gap = 4;
+  p.stall_timeout = runtime::msec(400);
+  SimHarness h(4, 1, p);
+  // The replacement loses all volatile state: a brand-new Replica object
+  // takes over process 3 and must rebuild through state transfer alone.
+  CounterMachine fresh_machine;
+  Replica fresh(3, h.config, p, &fresh_machine);
+  h.cluster.schedule_at(500 * kMillisecond, [&h] { h.cluster.crash(3); });
+  h.cluster.schedule_at(3 * kSecond, [&h, &fresh] { h.cluster.restart(3, &fresh); });
+  for (int i = 0; i < 40; ++i) {
+    h.invoke_at(kMillisecond + i * 20 * kMillisecond, 0, delta_payload(1));
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.invoke_at(4 * kSecond + i * 20 * kMillisecond, 0, delta_payload(1));
+  }
+  h.cluster.run_until(20 * kSecond);
+  EXPECT_EQ(h.machines[0]->value(), 50u);
+  EXPECT_EQ(fresh_machine.value(), 50u) << "cold restart failed to catch up";
+  EXPECT_EQ(fresh_machine.history(), h.machines[0]->history());
+}
+
+TEST(ReplicaFaultTest, ForgedForwardCannotPoisonDeduplication) {
+  // A FORWARD injects a (client, seq) pair straight into the batch pool. If
+  // replicas accepted them from anyone, one forged message claiming a huge
+  // seq for a real client would execute, advance that client's dedup record,
+  // and silently drop every later genuine request. Forwards are therefore
+  // only accepted from cluster members, signed.
+  SimHarness h(4, 1, fault_params());
+  Request forged;
+  forged.client = SimHarness::kClientBase;
+  forged.seq = 50;  // far ahead of anything the real client sent
+  forged.payload = delta_payload(999);
+  for (runtime::ProcessId r = 0; r < 4; ++r) {
+    // Unsigned, from a non-member (process 99): must be rejected outright.
+    h.send_raw_at(5 * kMillisecond, r, encode_forward(Forward{forged, {}}));
+  }
+  int completions = 0;
+  for (int i = 0; i < 10; ++i) {
+    h.invoke_at(50 * kMillisecond + i * 10 * kMillisecond, 0, delta_payload(1),
+                [&](std::uint64_t, Bytes) { ++completions; });
+  }
+  h.cluster.run_until(10 * kSecond);
+  EXPECT_EQ(completions, 10);  // no request was dedup-dropped
+  EXPECT_EQ(h.machines[0]->value(), 10u);  // and the forgery never executed
+  EXPECT_TRUE(h.replicas_agree({0, 1, 2, 3}));
+}
+
 TEST(ReplicaFaultTest, WheatLeaderCrashRollsBackCleanly) {
   ReplicaParams p = fault_params();
   p.tentative_execution = true;

@@ -24,9 +24,23 @@ TEST(WireTest, RequestRoundTrip) {
 }
 
 TEST(WireTest, ForwardRoundTrip) {
-  const Request r = sample_request();
-  EXPECT_EQ(decode_forward(encode_forward(r)), r);
-  EXPECT_THROW(decode_request(encode_forward(r)), DecodeError);
+  const Forward f{sample_request(), to_bytes("relayer-signature")};
+  const Bytes encoded = encode_forward(f);
+  const Forward decoded = decode_forward(encoded);
+  EXPECT_EQ(decoded.request, f.request);
+  EXPECT_EQ(decoded.signature, f.signature);
+  EXPECT_THROW(decode_request(encoded), DecodeError);
+}
+
+TEST(WireTest, ForwardDigestCoversAllRequestFields) {
+  const Request base = sample_request();
+  Request seq = base;
+  seq.seq += 1;
+  Request payload = base;
+  payload.payload.push_back(0x00);
+  EXPECT_NE(forward_digest(base), forward_digest(seq));
+  EXPECT_NE(forward_digest(base), forward_digest(payload));
+  EXPECT_EQ(forward_digest(base), forward_digest(sample_request()));
 }
 
 TEST(WireTest, BatchRoundTrip) {
