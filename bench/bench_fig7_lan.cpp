@@ -8,6 +8,11 @@
 //
 // Flags narrow the sweep: --orderers 4 --block 10 --receivers 1,2,4
 // --sizes 40,1024 --measure-s 1.2 --seed 1
+//
+// Unless --metrics-out none, every cell also exports its per-stage latency
+// breakdown (obs registry + trace, schema in OBSERVABILITY.md) and the sweep
+// writes them as a JSON array, one object per cell, default
+// fig7_lan_metrics.json.
 #include <cstdio>
 #include <sstream>
 
@@ -31,7 +36,7 @@ std::vector<std::uint64_t> parse_list(const std::string& text) {
 void run_panel(std::uint32_t orderers, std::size_t block_size,
                const std::vector<std::uint64_t>& sizes,
                const std::vector<std::uint64_t>& receivers, double measure_s,
-               std::uint64_t seed) {
+               std::uint64_t seed, std::vector<std::string>* metrics_json) {
   std::printf("--- %u orderers, %zu envelopes/block ---\n", orderers,
               block_size);
   std::printf("%10s |", "env size");
@@ -48,7 +53,9 @@ void run_panel(std::uint32_t orderers, std::size_t block_size,
       config.receivers = static_cast<std::uint32_t>(r);
       config.measure_s = measure_s;
       config.seed = seed;
+      config.collect_metrics = metrics_json != nullptr;
       const LanResult result = bench::run_lan_throughput(config);
+      if (metrics_json != nullptr) metrics_json->push_back(result.metrics_json);
       bound = result.sign_bound_tps;
       std::printf("  %-9s", bench::format_k(result.throughput_tps).c_str());
       std::fflush(stdout);
@@ -69,6 +76,8 @@ int main(int argc, char** argv) {
   const auto receivers = parse_list(flags.get("receivers", "1,2,4,8,16,32"));
   const double measure_s = flags.get_double("measure-s", 1.2);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string metrics_out =
+      flags.get("metrics-out", "fig7_lan_metrics.json");
   const std::string unused = flags.unused();
   if (!unused.empty()) {
     std::fprintf(stderr, "unknown flags: %s\n", unused.c_str());
@@ -80,11 +89,32 @@ int main(int argc, char** argv) {
   std::printf("(simulated Gigabit LAN; 16-thread nodes; paper-calibrated "
               "ECDSA cost 1.905 ms; 32 closed-loop submitters on 2 client "
               "machines; batch limit 400)\n\n");
+  std::vector<std::string> metrics;
+  const bool want_metrics = !metrics_out.empty() && metrics_out != "none";
   for (std::uint64_t n : orderers_list) {
     for (std::uint64_t bs : block_list) {
       run_panel(static_cast<std::uint32_t>(n), static_cast<std::size_t>(bs),
-                sizes, receivers, measure_s, seed);
+                sizes, receivers, measure_s, seed,
+                want_metrics ? &metrics : nullptr);
     }
+  }
+  if (want_metrics) {
+    std::FILE* out = std::fopen(metrics_out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fputs("[\n", out);
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      std::fputs(metrics[i].c_str(), out);
+      if (i + 1 < metrics.size()) std::fputs(",", out);
+      std::fputs("\n", out);
+    }
+    std::fputs("]\n", out);
+    std::fclose(out);
+    std::printf("\nper-stage metrics: %zu cells -> %s (schema: "
+                "OBSERVABILITY.md)\n",
+                metrics.size(), metrics_out.c_str());
   }
   std::printf(
       "paper's shape checks: (i) 10 env/block peaks ~50k tx/s, well below\n"

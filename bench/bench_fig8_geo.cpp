@@ -21,6 +21,11 @@ int main(int argc, char** argv) {
   const double duration = flags.get_double("duration-s", 8.0);
   const double rate = flags.get_double("rate", 300.0);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  // Per-cell JSON export (schema: OBSERVABILITY.md); opt in with
+  // --metrics-out <file>.
+  const std::string metrics_out = flags.get("metrics-out", "none");
+  const bool want_metrics = !metrics_out.empty() && metrics_out != "none";
+  std::vector<std::string> metrics;
 
   std::printf("=== Figure %s: EC2-like WAN latency, blocks of %zu envelopes "
               "(4 receivers, ~%.0f tx/s) ===\n",
@@ -50,7 +55,9 @@ int main(int argc, char** argv) {
       config.rate_per_frontend = rate;
       config.duration_s = duration;
       config.seed = seed;
+      config.collect_metrics = want_metrics;
       const bench::GeoResult result = bench::run_geo_latency(config);
+      if (want_metrics) metrics.push_back(result.metrics_json);
       std::printf("  %9zuB |", size);
       for (std::size_t j = 0; j < result.median_ms.size(); ++j) {
         std::printf(" %7.0f / %-7.0f", result.median_ms[j], result.p90_ms[j]);
@@ -58,6 +65,24 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
     std::printf("\n");
+  }
+  if (want_metrics) {
+    std::FILE* out = std::fopen(metrics_out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fputs("[\n", out);
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      std::fputs(metrics[i].c_str(), out);
+      if (i + 1 < metrics.size()) std::fputs(",", out);
+      std::fputs("\n", out);
+    }
+    std::fputs("]\n", out);
+    std::fclose(out);
+    std::printf("per-stage metrics: %zu cells -> %s (schema: "
+                "OBSERVABILITY.md)\n",
+                metrics.size(), metrics_out.c_str());
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "harness.hpp"
 
 #include <cstdio>
+#include <memory>
 
 namespace bft::bench {
 
@@ -24,6 +25,11 @@ Bytes make_envelope(std::uint64_t id, std::size_t size) {
 }  // namespace
 
 LanResult run_lan_throughput(const LanConfig& config) {
+  // --- observability (optional; probe = ordering node 0) ---
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::TraceRing> trace;
+  if (config.collect_metrics) trace = std::make_unique<obs::TraceRing>(1u << 16);
+
   // --- service ---
   ordering::ServiceOptions options;
   for (std::uint32_t i = 0; i < config.orderers; ++i) options.nodes.push_back(i);
@@ -36,6 +42,10 @@ LanResult run_lan_throughput(const LanConfig& config) {
   options.replica_params.stop_timeout = runtime::sec(20);
   options.replica_params.stall_timeout = runtime::sec(10);
   options.replica_params.checkpoint_period = 1u << 20;  // no checkpoint cost
+  if (config.collect_metrics) {
+    options.metrics = &registry;
+    options.trace = trace.get();
+  }
   ordering::Service service = ordering::make_service(options);
 
   // --- network: nodes on their own machines, all client processes packed
@@ -60,6 +70,7 @@ LanResult run_lan_throughput(const LanConfig& config) {
   network.set_machine_bandwidth(config.orderers, config.client_bandwidth_bps);
   network.set_machine_bandwidth(config.orderers + 1, config.client_bandwidth_bps);
   runtime::SimCluster cluster(std::move(network), config.seed);
+  if (config.collect_metrics) cluster.set_metrics(&registry);
 
   for (std::size_t i = 0; i < service.nodes.size(); ++i) {
     cluster.add_process(service.cluster.members()[i],
@@ -73,8 +84,15 @@ LanResult run_lan_throughput(const LanConfig& config) {
   receiver_options.verify_signatures = config.verify_signatures;
   std::vector<std::unique_ptr<ordering::Frontend>> receivers;
   for (std::uint32_t r = 0; r < config.receivers; ++r) {
-    receivers.push_back(std::make_unique<ordering::Frontend>(
-        service.cluster, receiver_options));
+    ordering::FrontendOptions ro = receiver_options;
+    if (r == 0 && config.collect_metrics) {
+      // Receiver 0 is the measurement probe: its frontend.* counters and the
+      // block-level push->frontend_accept trace events feed the export.
+      ro.metrics = &registry;
+      ro.trace = trace.get();
+    }
+    receivers.push_back(
+        std::make_unique<ordering::Frontend>(service.cluster, ro));
     cluster.add_process(kReceiverBase + r, receivers.back().get());
   }
 
@@ -82,6 +100,12 @@ LanResult run_lan_throughput(const LanConfig& config) {
   ordering::FrontendOptions submit_options = receiver_options;
   submit_options.receive_blocks = false;
   submit_options.verify_signatures = false;
+  if (config.collect_metrics) {
+    // Submitters emit the per-envelope kSubmit trace events that anchor the
+    // submit->propose stage; their frontend.submitted counters aggregate.
+    submit_options.metrics = &registry;
+    submit_options.trace = trace.get();
+  }
   std::vector<std::unique_ptr<ordering::Frontend>> submitters;
   for (std::uint32_t s = 0; s < config.submitters; ++s) {
     submitters.push_back(std::make_unique<ordering::Frontend>(
@@ -139,6 +163,26 @@ LanResult run_lan_throughput(const LanConfig& config) {
   result.leader_utilization = cluster.protocol_utilization(0);
   result.delivered_at_receiver =
       receivers.empty() ? 0 : receivers[0]->delivered_envelopes();
+  if (config.collect_metrics) {
+    cluster.export_metrics(registry, 0);
+    const std::map<std::string, std::string> labels{
+        {"bench", "fig7_lan"},
+        {"orderers", std::to_string(config.orderers)},
+        {"block_size", std::to_string(config.block_size)},
+        {"envelope_size", std::to_string(config.envelope_size)},
+        {"receivers", std::to_string(config.receivers)},
+        {"submitters", std::to_string(config.submitters)},
+        {"seed", std::to_string(config.seed)},
+        {"double_sign", config.double_sign ? "true" : "false"},
+    };
+    const std::map<std::string, double> run{
+        {"throughput_tps", result.throughput_tps},
+        {"block_rate", result.block_rate},
+        {"sign_bound_tps", result.sign_bound_tps},
+        {"leader_utilization", result.leader_utilization},
+    };
+    result.metrics_json = obs::to_json(registry, trace.get(), labels, run);
+  }
   return result;
 }
 
@@ -146,6 +190,10 @@ GeoResult run_geo_latency(const GeoConfig& config) {
   const ordering::GeoTopology topology =
       config.wheat ? ordering::paper_wheat_topology()
                    : ordering::paper_bftsmart_topology();
+
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::TraceRing> trace;
+  if (config.collect_metrics) trace = std::make_unique<obs::TraceRing>(1u << 16);
 
   ordering::ServiceOptions options;
   for (std::size_t i = 0; i < topology.node_regions.size(); ++i) {
@@ -164,10 +212,15 @@ GeoResult run_geo_latency(const GeoConfig& config) {
   options.replica_params.stop_timeout = runtime::sec(20);
   options.replica_params.stall_timeout = runtime::sec(10);
   options.replica_params.checkpoint_period = 1u << 20;
+  if (config.collect_metrics) {
+    options.metrics = &registry;
+    options.trace = trace.get();
+  }
 
   ordering::Service service = ordering::make_service(options);
   runtime::SimCluster cluster(ordering::make_geo_network(topology, config.seed),
                               config.seed);
+  if (config.collect_metrics) cluster.set_metrics(&registry);
   for (std::size_t i = 0; i < service.nodes.size(); ++i) {
     cluster.add_process(service.cluster.members()[i],
                         service.nodes[i].replica.get(), sim::CpuConfig{});
@@ -178,8 +231,17 @@ GeoResult run_geo_latency(const GeoConfig& config) {
   for (std::size_t j = 0; j < topology.frontend_regions.size(); ++j) {
     result.frontend_names.push_back(
         sim::region_name(topology.frontend_regions[j]));
-    frontends.push_back(std::make_unique<ordering::Frontend>(
-        service.cluster, ordering::make_frontend_options(service, options)));
+    ordering::FrontendOptions fo =
+        ordering::make_frontend_options(service, options);
+    if (config.collect_metrics) {
+      // Every geo frontend submits and receives, so instrumenting all of them
+      // closes the full submit->frontend_accept chain per envelope (the
+      // frontend.* counters aggregate across regions).
+      fo.metrics = &registry;
+      fo.trace = trace.get();
+    }
+    frontends.push_back(
+        std::make_unique<ordering::Frontend>(service.cluster, fo));
     cluster.add_process(topology.frontend_base + static_cast<ProcessId>(j),
                         frontends.back().get());
   }
@@ -205,6 +267,25 @@ GeoResult run_geo_latency(const GeoConfig& config) {
     result.samples.push_back(h.count());
     result.median_ms.push_back(h.empty() ? 0 : h.median());
     result.p90_ms.push_back(h.empty() ? 0 : h.percentile(0.9));
+  }
+  if (config.collect_metrics) {
+    cluster.export_metrics(registry, 0);
+    const std::map<std::string, std::string> labels{
+        {"bench", "fig8_geo"},
+        {"wheat", config.wheat ? "true" : "false"},
+        {"block_size", std::to_string(config.block_size)},
+        {"envelope_size", std::to_string(config.envelope_size)},
+        {"seed", std::to_string(config.seed)},
+    };
+    std::map<std::string, double> run{
+        {"rate_per_frontend", config.rate_per_frontend},
+        {"duration_s", config.duration_s},
+    };
+    for (std::size_t j = 0; j < result.frontend_names.size(); ++j) {
+      run.emplace("median_ms_frontend" + std::to_string(j),
+                  result.median_ms[j]);
+    }
+    result.metrics_json = obs::to_json(registry, trace.get(), labels, run);
   }
   return result;
 }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
 #include "ordering/deployment.hpp"
 #include "ordering/geo.hpp"
 #include "runtime/sim_runtime.hpp"
@@ -42,6 +43,12 @@ struct LanConfig {
   /// client-side bandwidth (see EXPERIMENTS.md); the comparison bench uses
   /// this knob to show both readings.
   double client_bandwidth_bps = 125e6;
+  /// Wire an obs::MetricsRegistry + TraceRing into ordering node 0, the
+  /// probe receiver and every submitter, and export the per-stage JSON
+  /// breakdown into LanResult::metrics_json. Purely host-side: recording
+  /// never touches simulated time, RNGs or event order, so throughput
+  /// numbers are identical with or without it.
+  bool collect_metrics = false;
 };
 
 struct LanResult {
@@ -50,6 +57,8 @@ struct LanResult {
   double sign_bound_tps = 0;      // Eq.(1): TPsign * block size (idle-CPU bound)
   double leader_utilization = 0;  // protocol-thread EWMA at node 0
   std::uint64_t delivered_at_receiver = 0;
+  /// JSON export (see OBSERVABILITY.md); empty unless collect_metrics.
+  std::string metrics_json;
 };
 
 LanResult run_lan_throughput(const LanConfig& config);
@@ -69,6 +78,10 @@ struct GeoConfig {
   // independently. Only meaningful when `wheat` is true.
   bool use_weights = true;
   bool use_tentative = true;
+  /// As in LanConfig: instrument node 0 and every frontend, export JSON into
+  /// GeoResult::metrics_json. Geo frontends both submit and receive, so the
+  /// trace closes the full submit→frontend_accept chain per envelope.
+  bool collect_metrics = false;
 };
 
 struct GeoResult {
@@ -76,6 +89,8 @@ struct GeoResult {
   std::vector<double> median_ms;
   std::vector<double> p90_ms;
   std::vector<std::size_t> samples;
+  /// JSON export (see OBSERVABILITY.md); empty unless collect_metrics.
+  std::string metrics_json;
 };
 
 GeoResult run_geo_latency(const GeoConfig& config);

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Docs lint (wired into ctest as `docs_lint`): every observability name the
+# code exports must be documented in OBSERVABILITY.md.
+#
+# Checked surfaces:
+#   * metric names registered in src/ or bench/ — matched by their namespaced
+#     quoted form ("smr.x", "ordering.x", "frontend.x", "consensus.x",
+#     "sim.x"), which survives line-wrapped registry calls. Test-only fake
+#     names (tests/) are deliberately out of scope.
+#   * the eight trace stage names from obs::trace_stage_name.
+#
+# Exits nonzero listing every undocumented name.
+set -u
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+doc="$repo/OBSERVABILITY.md"
+fail=0
+
+if [ ! -f "$doc" ]; then
+  echo "docs_lint: $doc is missing"
+  exit 1
+fi
+
+names="$(grep -rhoE '"(smr|ordering|frontend|consensus|sim)\.[a-z0-9_]+"' \
+  "$repo/src" "$repo/bench" | tr -d '"' | sort -u)"
+if [ -z "$names" ]; then
+  echo "docs_lint: found no registered metric names under src/ or bench/"
+  exit 1
+fi
+
+checked=0
+for name in $names; do
+  checked=$((checked + 1))
+  if ! grep -qF "$name" "$doc"; then
+    echo "docs_lint: metric '$name' is registered in code but missing from OBSERVABILITY.md"
+    fail=1
+  fi
+done
+
+for stage in submit propose write_quorum accept blockcut sign push frontend_accept; do
+  if ! grep -qE "(^|[^a-z_])$stage([^a-z_]|$)" "$doc"; then
+    echo "docs_lint: trace stage '$stage' missing from OBSERVABILITY.md"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs_lint: $checked metric names + 8 trace stages documented"
+fi
+exit "$fail"

@@ -57,7 +57,15 @@ Weight Instance::weight_of_votes(const std::vector<WriteVote>& votes) const {
 bool Instance::on_write(Epoch epoch, ReplicaId from, const ValueHash& hash,
                         Bytes signature) {
   EpochBook& book = epochs_[epoch];
-  if (book.write_votes.count(from) > 0) return false;  // first vote only
+  if (book.write_votes.count(from) > 0) {  // first vote only
+    if (metrics_ != nullptr && metrics_->duplicate_votes != nullptr) {
+      metrics_->duplicate_votes->add();
+    }
+    return false;
+  }
+  if (metrics_ != nullptr && metrics_->write_votes != nullptr) {
+    metrics_->write_votes->add();
+  }
   book.write_votes.emplace(from, hash);
   auto& votes = book.write_by_hash[hash];
   votes.push_back(WriteVote{from, std::move(signature)});
@@ -71,7 +79,15 @@ bool Instance::on_write(Epoch epoch, ReplicaId from, const ValueHash& hash,
 
 bool Instance::on_accept(Epoch epoch, ReplicaId from, const ValueHash& hash) {
   EpochBook& book = epochs_[epoch];
-  if (book.accept_votes.count(from) > 0) return false;
+  if (book.accept_votes.count(from) > 0) {
+    if (metrics_ != nullptr && metrics_->duplicate_votes != nullptr) {
+      metrics_->duplicate_votes->add();
+    }
+    return false;
+  }
+  if (metrics_ != nullptr && metrics_->accept_votes != nullptr) {
+    metrics_->accept_votes->add();
+  }
   book.accept_votes.emplace(from, hash);
   auto& voters = book.accept_by_hash[hash];
   voters.insert(from);

@@ -1,0 +1,42 @@
+// JSON export of a metrics registry plus an optional trace breakdown.
+//
+// The exporter is deliberately dependency-free (hand-rolled serialization, no
+// third-party JSON library) and deterministic: maps are emitted in sorted key
+// order and doubles with a fixed format, so the same sim seed produces
+// byte-identical output. The schema is documented in OBSERVABILITY.md:
+//
+//   {
+//     "labels":     { "<k>": "<v>", ... },              // run metadata
+//     "run":        { "<k>": <number>, ... },           // headline results
+//     "counters":   { "<name>": <u64>, ... },
+//     "gauges":     { "<name>": <i64>, ... },
+//     "histograms": { "<name>": {"unit","count","p50","p95","p99","max","mean"} },
+//     "trace":      { "recorded", "dropped",
+//                     "stages": { "<from>_to_<to>": {"count","p50_ms",...} } }
+//   }
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bft::obs {
+
+/// Serializes one run. `labels` and `run` attach caller-supplied metadata
+/// (bench name, config knobs) and headline numbers (throughput); either may be
+/// empty. `trace` may be null when only the registry is wanted. The trace is
+/// snapshotted inside — call at a quiescent point.
+std::string to_json(const MetricsRegistry& registry, const TraceRing* trace,
+                    const std::map<std::string, std::string>& labels = {},
+                    const std::map<std::string, double>& run = {});
+
+/// Escapes a string for embedding in a JSON document (quotes not included).
+std::string json_escape(const std::string& text);
+
+/// Formats a double the way the exporter does ("%.6g", with bare integers
+/// kept integral). Exposed so golden tests and callers stay in sync.
+std::string json_number(double value);
+
+}  // namespace bft::obs

@@ -1,0 +1,156 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "obs/metrics.hpp"
+
+namespace bft::obs {
+
+const char* trace_stage_name(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kSubmit:
+      return "submit";
+    case TraceStage::kPropose:
+      return "propose";
+    case TraceStage::kWriteQuorum:
+      return "write_quorum";
+    case TraceStage::kAccept:
+      return "accept";
+    case TraceStage::kBlockcut:
+      return "blockcut";
+    case TraceStage::kSign:
+      return "sign";
+    case TraceStage::kPush:
+      return "push";
+    case TraceStage::kFrontendAccept:
+      return "frontend_accept";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(std::size_t capacity) {
+  if (capacity < 2) capacity = 2;
+  slots_.resize(std::bit_ceil(capacity));
+}
+
+void TraceRing::record(const TraceEvent& event) {
+  const std::uint64_t slot = head_.fetch_add(1, std::memory_order_relaxed);
+  slots_[slot & (slots_.size() - 1)] = event;
+}
+
+void TraceRing::record(TraceStage stage, std::int64_t at, std::uint32_t node,
+                       std::uint32_t client, std::uint64_t seq,
+                       std::uint64_t detail) {
+  record(TraceEvent{at, node, client, seq, detail, stage});
+}
+
+std::uint64_t TraceRing::dropped() const {
+  const std::uint64_t total = recorded();
+  return total > slots_.size() ? total - slots_.size() : 0;
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  const std::uint64_t total = recorded();
+  const std::size_t cap = slots_.size();
+  const std::size_t live = total < cap ? static_cast<std::size_t>(total) : cap;
+  std::vector<TraceEvent> out;
+  out.reserve(live);
+  const std::uint64_t first = total - live;
+  for (std::uint64_t i = first; i < total; ++i) {
+    out.push_back(slots_[i & (cap - 1)]);
+  }
+  return out;
+}
+
+namespace {
+
+StageSummary summarize(const LatencyHistogram& h) {
+  StageSummary s;
+  s.count = h.count();
+  s.p50 = h.quantile(0.50);
+  s.p95 = h.quantile(0.95);
+  s.p99 = h.quantile(0.99);
+  s.max = h.max();
+  s.mean = h.mean();
+  return s;
+}
+
+}  // namespace
+
+std::map<std::string, StageSummary> stage_breakdown(
+    const std::vector<TraceEvent>& events) {
+  // Canonical per-envelope pipeline order; adjacent present stages pair up.
+  static constexpr std::array<TraceStage, 7> kChain = {
+      TraceStage::kSubmit,   TraceStage::kPropose, TraceStage::kWriteQuorum,
+      TraceStage::kAccept,   TraceStage::kBlockcut, TraceStage::kSign,
+      TraceStage::kPush,
+  };
+  constexpr std::int64_t kUnset = -1;
+
+  // First occurrence of each stage per envelope key.
+  std::map<std::pair<std::uint64_t, std::uint64_t>,
+           std::array<std::int64_t, kTraceStageCount>>
+      per_envelope;
+  // First push / first frontend_accept per block number.
+  std::map<std::uint64_t, std::pair<std::int64_t, std::int64_t>> per_block;
+
+  for (const TraceEvent& e : events) {
+    if (e.detail != 0 && (e.stage == TraceStage::kPush ||
+                          e.stage == TraceStage::kFrontendAccept)) {
+      auto [it, inserted] =
+          per_block.try_emplace(e.detail, std::pair{kUnset, kUnset});
+      std::int64_t& slot = e.stage == TraceStage::kPush ? it->second.first
+                                                        : it->second.second;
+      if (slot == kUnset || e.at < slot) slot = e.at;
+    }
+    if (e.client == kBlockTraceClient) continue;  // block-level only
+    const auto key = std::pair{static_cast<std::uint64_t>(e.client), e.seq};
+    auto [it, inserted] = per_envelope.try_emplace(key);
+    if (inserted) it->second.fill(kUnset);
+    std::int64_t& slot = it->second[static_cast<std::size_t>(e.stage)];
+    if (slot == kUnset || e.at < slot) slot = e.at;
+  }
+
+  // Accumulate transition samples into histograms, then summarize. Histograms
+  // are heap-allocated: LatencyHistogram is large (720 atomic buckets) and the
+  // set of observed transitions is small.
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> transitions;
+  const auto record = [&transitions](const std::string& name, std::int64_t from,
+                                     std::int64_t to) {
+    if (from == kUnset || to == kUnset || to < from) return;
+    auto [it, inserted] = transitions.try_emplace(name);
+    if (inserted) it->second = std::make_unique<LatencyHistogram>();
+    it->second->record(to - from);
+  };
+
+  for (const auto& [key, stages] : per_envelope) {
+    std::size_t prev = kChain.size();  // sentinel: no earlier stage seen yet
+    for (std::size_t i = 0; i < kChain.size(); ++i) {
+      if (stages[static_cast<std::size_t>(kChain[i])] == kUnset) continue;
+      if (prev != kChain.size()) {
+        const std::string name =
+            std::string(trace_stage_name(kChain[prev])) + "_to_" +
+            trace_stage_name(kChain[i]);
+        record(name, stages[static_cast<std::size_t>(kChain[prev])],
+               stages[static_cast<std::size_t>(kChain[i])]);
+      }
+      prev = i;
+    }
+    record("submit_to_frontend_accept",
+           stages[static_cast<std::size_t>(TraceStage::kSubmit)],
+           stages[static_cast<std::size_t>(TraceStage::kFrontendAccept)]);
+  }
+  for (const auto& [block, times] : per_block) {
+    record("push_to_frontend_accept", times.first, times.second);
+  }
+
+  std::map<std::string, StageSummary> out;
+  for (const auto& [name, histogram] : transitions) {
+    out.emplace(name, summarize(*histogram));
+  }
+  return out;
+}
+
+}  // namespace bft::obs

@@ -1,0 +1,125 @@
+// Per-envelope lifecycle tracing for the ordering pipeline.
+//
+// Every envelope is keyed by (client, seq) — the frontend's process id and the
+// per-frontend request sequence number, the same identity `smr::Request`
+// carries through consensus — and passes through up to eight traced stages:
+//
+//   submit          frontend hands the envelope to the cluster
+//   propose         envelope appears in a PROPOSE batch accepted by a replica
+//   write_quorum    the replica observes a WRITE quorum for that batch
+//   accept          the batch decides (ACCEPT quorum / Mod-SMaRt decision)
+//   blockcut        the blockcutter seals the envelope into a block
+//   sign            the block's signing job is submitted to the signer pool
+//   push            the signed block is handed to the network fan-out
+//   frontend_accept the receiving frontend assembles its delivery quorum
+//
+// Events land in a fixed-capacity overwriting ring (TraceRing): recording is
+// wait-free and allocation-free, old events are overwritten once the ring
+// wraps, and `snapshot()` reconstructs the surviving events oldest-first at a
+// quiescent point (after a sim run, between panels). `stage_breakdown()` then
+// folds a snapshot into per-stage latency summaries — the machine-readable
+// "where does time go" table the benches export as JSON.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bft::obs {
+
+enum class TraceStage : std::uint8_t {
+  kSubmit = 0,
+  kPropose,
+  kWriteQuorum,
+  kAccept,
+  kBlockcut,
+  kSign,
+  kPush,
+  kFrontendAccept,
+};
+
+inline constexpr std::size_t kTraceStageCount = 8;
+
+/// Stable lower_snake_case name used in JSON exports and docs.
+const char* trace_stage_name(TraceStage stage);
+
+/// Sentinel `client` for block-granularity events: frontends cannot recover
+/// the (client, seq) of envelopes they did not submit themselves, so delivery
+/// is additionally traced once per block under this client with seq = block
+/// number. `detail` carries the block number on blockcut/sign/push/
+/// frontend_accept events, which lets stage_breakdown() pair the node's push
+/// with the probe frontend's delivery even when the envelope key is unknown.
+inline constexpr std::uint32_t kBlockTraceClient = 0xffffffffu;
+
+struct TraceEvent {
+  std::int64_t at = 0;       // Env::now() — sim ns or wall-clock ns
+  std::uint32_t node = 0;    // process id of the emitting actor
+  std::uint32_t client = 0;  // submitting frontend (or kBlockTraceClient)
+  std::uint64_t seq = 0;     // per-client request sequence (or block number)
+  std::uint64_t detail = 0;  // stage-specific: consensus id or block number
+  TraceStage stage = TraceStage::kSubmit;
+};
+
+/// Fixed-capacity overwriting event ring. record() claims a slot with one
+/// relaxed fetch_add and writes it in place — wait-free, no allocation. Slots
+/// are plain structs, so a writer lapping the ring while another thread still
+/// writes the same slot (or while snapshot() runs) is a data race by the
+/// letter; in this codebase recording happens from actor callbacks and
+/// snapshots are taken at quiescent points, so the ring is only ever read
+/// after writers stop. Capacity is rounded up to a power of two.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 1 << 16);
+
+  void record(const TraceEvent& event);
+  void record(TraceStage stage, std::int64_t at, std::uint32_t node,
+              std::uint32_t client, std::uint64_t seq, std::uint64_t detail = 0);
+
+  std::size_t capacity() const { return slots_.size(); }
+  /// Total events ever recorded (including overwritten ones).
+  std::uint64_t recorded() const { return head_.load(std::memory_order_relaxed); }
+  /// Events lost to wraparound: recorded() - capacity(), floored at zero.
+  std::uint64_t dropped() const;
+
+  /// Surviving events, oldest-first. Call only while no recording is active.
+  std::vector<TraceEvent> snapshot() const;
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// Latency summary for one stage transition, in nanoseconds.
+struct StageSummary {
+  std::uint64_t count = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p95 = 0;
+  std::int64_t p99 = 0;
+  std::int64_t max = 0;
+  double mean = 0.0;
+};
+
+/// Folds a trace snapshot into per-transition latency summaries keyed
+/// "<from>_to_<to>" (e.g. "propose_to_write_quorum").
+///
+/// Two pairing passes run:
+///  - per-envelope: events grouped by (client, seq); for each adjacent pair of
+///    *present* stages in the canonical submit→push order, the delta between
+///    the first occurrence of each stage is one sample. When both submit and
+///    frontend_accept exist for a key (the frontend both submitted and
+///    received the envelope, as in the geo benches), "submit_to_frontend_accept"
+///    records the end-to-end latency.
+///  - per-block: push and frontend_accept events with a nonzero block number
+///    in `detail` are grouped by block; the delta between the node's first
+///    push and the probe frontend's first delivery of that block becomes a
+///    "push_to_frontend_accept" sample. This closes the chain in the LAN bench
+///    where receivers never see the envelope keys they deliver.
+///
+/// Missing stages (ring wraparound, partial runs) simply contribute no sample;
+/// negative deltas (clock skew across real processes) are discarded.
+std::map<std::string, StageSummary> stage_breakdown(
+    const std::vector<TraceEvent>& events);
+
+}  // namespace bft::obs

@@ -39,14 +39,28 @@ Service make_service(const ServiceOptions& options) {
   for (runtime::ProcessId node : service.cluster.members()) {
     NodeBundle bundle;
     bundle.signer = make_signer(options, node);
+    const bool instrumented =
+        options.metrics != nullptr && node == options.metrics_node;
     OrderingNodeOptions node_options;
     node_options.default_channel = options.channel;
     node_options.block_size = options.block_size;
     node_options.batch_timeout = options.batch_timeout;
     node_options.double_sign = options.double_sign;
+    if (instrumented) {
+      node_options.metrics = options.metrics;
+      node_options.trace = options.trace;
+    }
     bundle.app = std::make_unique<OrderingNode>(node_options, bundle.signer);
+    smr::ReplicaParams replica_params = options.replica_params;
+    if (instrumented) {
+      replica_params.metrics = options.metrics;
+      replica_params.trace = options.trace;
+    } else {
+      replica_params.metrics = nullptr;
+      replica_params.trace = nullptr;
+    }
     bundle.replica = std::make_unique<smr::Replica>(
-        node, service.cluster, options.replica_params, bundle.app.get(),
+        node, service.cluster, replica_params, bundle.app.get(),
         bundle.app.get());
     bundle.app->attach(*bundle.replica);
     service.nodes.push_back(std::move(bundle));

@@ -12,6 +12,20 @@ Frontend::Frontend(smr::ClusterConfig cluster, FrontendOptions options,
   if (options_.verify_signatures && options_.verifier == nullptr) {
     throw std::invalid_argument("Frontend: verification requires a verifier");
   }
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    m_.submitted =
+        &reg.counter("frontend.submitted", "envelopes relayed to the cluster");
+    m_.pushes_received = &reg.counter("frontend.pushes_received",
+                                      "block pushes received on our channel");
+    m_.delivered_blocks =
+        &reg.counter("frontend.delivered_blocks", "blocks with delivery quorum");
+    m_.delivered_envelopes =
+        &reg.counter("frontend.delivered_envelopes", "envelopes delivered");
+    m_.submit_to_deliver = &reg.histogram(
+        "frontend.submit_to_deliver_ns", "ns",
+        "submit to delivery quorum, own tracked envelopes only");
+  }
 }
 
 void Frontend::on_start(runtime::Env& env) {
@@ -24,21 +38,27 @@ void Frontend::on_start(runtime::Env& env) {
 }
 
 void Frontend::submit(Bytes envelope) {
+  smr::Request request;
+  request.client = env().self();
+  request.seq = next_seq_++;
   if (options_.track_latency) {
-    inflight_[crypto::hash_hex(crypto::sha256(envelope))] = env().now();
+    inflight_[crypto::hash_hex(crypto::sha256(envelope))] =
+        Inflight{env().now(), request.seq};
+  }
+  if (options_.trace != nullptr) {
+    options_.trace->record(obs::TraceStage::kSubmit, env().now(), env().self(),
+                           request.client, request.seq);
   }
   OrderedPayload payload;
   payload.channel = options_.channel;
   payload.envelope = std::move(envelope);
-  smr::Request request;
-  request.client = env().self();
-  request.seq = next_seq_++;
   request.payload = payload.encode();
   const Bytes encoded = smr::encode_request(request);
   for (runtime::ProcessId node : cluster_.members()) {
     env().send(node, encoded);
   }
   ++submitted_;
+  if (m_.submitted != nullptr) m_.submitted->add();
   if (first_submit_ < 0) first_submit_ = env().now();
 }
 
@@ -71,6 +91,7 @@ void Frontend::on_message(runtime::ProcessId from, ByteView payload) {
   }
 
   if (sb.channel != options_.channel) return;  // another channel's chain
+  if (m_.pushes_received != nullptr) m_.pushes_received->add();
   const std::uint64_t number = sb.block.header.number;
   if (options_.deliver_in_order ? number < next_delivery_number_
                                 : delivered_numbers_.count(number) > 0) {
@@ -113,11 +134,31 @@ void Frontend::deliver(const ledger::Block& block) {
   ++delivered_blocks_;
   delivered_envelopes_ += block.envelopes.size();
   last_delivery_ = env().now();
+  if (m_.delivered_blocks != nullptr) m_.delivered_blocks->add();
+  if (m_.delivered_envelopes != nullptr) {
+    m_.delivered_envelopes->add(block.envelopes.size());
+  }
+  if (options_.trace != nullptr) {
+    // Block-granularity delivery event; pairs with the ordering node's push
+    // via the block number in `detail` (see kBlockTraceClient).
+    options_.trace->record(obs::TraceStage::kFrontendAccept, env().now(),
+                           env().self(), obs::kBlockTraceClient,
+                           block.header.number, block.header.number);
+  }
   if (options_.track_latency) {
     for (const Bytes& envelope : block.envelopes) {
       const auto it = inflight_.find(crypto::hash_hex(crypto::sha256(envelope)));
       if (it != inflight_.end()) {
-        latencies_.add(static_cast<double>(env().now() - it->second) / 1e6);
+        const std::int64_t delta = env().now() - it->second.at;
+        latencies_.add(static_cast<double>(delta) / 1e6);
+        if (m_.submit_to_deliver != nullptr) m_.submit_to_deliver->record(delta);
+        if (options_.trace != nullptr) {
+          // Per-envelope delivery for envelopes this frontend submitted
+          // itself: closes the submit→frontend_accept chain.
+          options_.trace->record(obs::TraceStage::kFrontendAccept, env().now(),
+                                 env().self(), env().self(), it->second.seq,
+                                 block.header.number);
+        }
         inflight_.erase(it);
       }
     }

@@ -38,6 +38,11 @@ struct FrontendOptions {
   /// Non-zero: accept a block after exactly this many matching copies
   /// (overrides the 2f+1 / f+1 / weighted rules; crash-fault baselines use 1).
   std::size_t required_copies = 0;
+  /// Optional observability sinks (non-owning; must outlive the frontend).
+  /// Several frontends may share one registry — their frontend.* counters
+  /// then aggregate. See OBSERVABILITY.md.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRing* trace = nullptr;
 };
 
 class Frontend : public runtime::Actor {
@@ -49,7 +54,7 @@ class Frontend : public runtime::Actor {
 
   void on_start(runtime::Env& env) override;
   void on_message(runtime::ProcessId from, ByteView payload) override;
-  void on_timer(std::uint64_t timer_id) override {}
+  void on_timer(std::uint64_t) override {}
 
   /// Relays one envelope to the ordering cluster (fire-and-forget broadcast,
   /// like the shim's asynchronous BFT-SMaRt invocations). Call from the
@@ -88,12 +93,27 @@ class Frontend : public runtime::Actor {
   std::map<std::uint64_t, ledger::Block> ready_;  // quorum reached, not in order yet
   std::set<std::uint64_t> delivered_numbers_;     // out-of-order mode dedup
 
-  std::map<std::string, runtime::TimePoint> inflight_;  // envelope digest -> submit time
+  struct Inflight {
+    runtime::TimePoint at = 0;  // submit time
+    std::uint64_t seq = 0;      // request sequence (trace key)
+  };
+  std::map<std::string, Inflight> inflight_;  // envelope digest -> submit info
   Histogram latencies_;
   std::uint64_t delivered_blocks_ = 0;
   std::uint64_t delivered_envelopes_ = 0;
   runtime::TimePoint first_submit_ = -1;
   runtime::TimePoint last_delivery_ = -1;
+
+  // Observability handles resolved once at construction (all null when no
+  // registry is wired). Catalogue: OBSERVABILITY.md.
+  struct MetricHandles {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* pushes_received = nullptr;
+    obs::Counter* delivered_blocks = nullptr;
+    obs::Counter* delivered_envelopes = nullptr;
+    obs::LatencyHistogram* submit_to_deliver = nullptr;
+  };
+  MetricHandles m_;
 };
 
 }  // namespace bft::ordering

@@ -1,3 +1,7 @@
+// Implementation of the chaos-harness invariant checks (see invariants.hpp
+// for the property definitions). Violations are accumulated as formatted
+// strings rather than thrown, so a scenario can report every broken property
+// of a run instead of just the first.
 #include "ordering/invariants.hpp"
 
 #include <sstream>

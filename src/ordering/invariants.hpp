@@ -15,6 +15,11 @@
 //
 // End-of-run checks cover liveness: all submitted envelopes delivered, and
 // delivery completing within a bound after the last fault healed.
+//
+// The checker is the assertion side of the chaos harness (DESIGN.md §6c);
+// the observability export (OBSERVABILITY.md) is the diagnosis side — when a
+// sweep scenario trips an invariant, re-run it with BFT_CHAOS_SEED and
+// BFT_CHAOS_METRICS_DIR to see which pipeline stage the fault perturbed.
 #pragma once
 
 #include <map>

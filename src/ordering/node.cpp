@@ -60,6 +60,23 @@ OrderingNode::OrderingNode(OrderingNodeOptions options,
   if (options_.block_size == 0) {
     throw std::invalid_argument("OrderingNode: zero block size");
   }
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    m_.envelopes_ordered = &reg.counter("ordering.envelopes_ordered",
+                                        "envelopes through execute()");
+    m_.blocks_cut = &reg.counter("ordering.blocks_cut",
+                                 "blocks emitted (including replayed cuts)");
+    m_.blocks_signed =
+        &reg.counter("ordering.blocks_signed", "signing jobs completed");
+    m_.cut_markers =
+        &reg.counter("ordering.cut_markers", "time-to-cut markers submitted");
+    m_.pending_envelopes = &reg.gauge("ordering.pending_envelopes",
+                                      "envelopes waiting in blockcutters");
+    m_.block_fill =
+        &reg.histogram("ordering.block_fill", "envelopes", "envelopes per block");
+    m_.sign_latency = &reg.histogram(
+        "ordering.sign_ns", "ns", "signer-pool queue + signing latency");
+  }
 }
 
 OrderingNode::ChannelState& OrderingNode::channel_state(const std::string& name) {
@@ -91,6 +108,10 @@ Bytes OrderingNode::execute(const smr::Request& request,
   ChannelState& state = channel_state(payload.channel);
   if (payload.kind == OrderedPayload::Kind::envelope) {
     ++envelopes_ordered_;
+    if (m_.envelopes_ordered != nullptr) m_.envelopes_ordered->add();
+    if (options_.trace != nullptr) {
+      state.trace_keys.emplace_back(request.client, request.seq);
+    }
     auto full = state.cutter.add(std::move(payload.envelope));
     if (full.has_value()) {
       emit_block(payload.channel, state, std::move(*full));
@@ -105,18 +126,32 @@ Bytes OrderingNode::execute(const smr::Request& request,
       emit_block(payload.channel, state, state.cutter.cut());
     }
   }
+  if (m_.pending_envelopes != nullptr) {
+    m_.pending_envelopes->set(static_cast<std::int64_t>(pending_total()));
+  }
   return {};
+}
+
+OrderingNode::TraceKeys OrderingNode::take_trace_keys(ChannelState& state) {
+  TraceKeys keys(state.trace_keys.begin(), state.trace_keys.end());
+  state.trace_keys.clear();
+  return keys;
 }
 
 void OrderingNode::emit_block(const std::string& channel, ChannelState& state,
                               std::vector<Bytes> envelopes) {
   // The node thread builds the header sequentially (deterministic across
   // replicas); only signing and sending go to the worker pool (§5.1).
+  const std::size_t fill = envelopes.size();
   ledger::Block block = ledger::make_block(
       state.next_block_number++, state.previous_header_hash,
       std::move(envelopes));
   state.previous_header_hash = block.header.digest();
   ++blocks_created_;
+  if (m_.blocks_cut != nullptr) m_.blocks_cut->add();
+  if (m_.block_fill != nullptr) {
+    m_.block_fill->record(static_cast<std::int64_t>(fill));
+  }
 
   if (options_.push_cache_blocks > 0) {
     state.recent_blocks.push_back(block);
@@ -125,16 +160,40 @@ void OrderingNode::emit_block(const std::string& channel, ChannelState& state,
     }
   }
 
+  TraceKeys keys;
+  if (options_.trace != nullptr) keys = take_trace_keys(state);
+
   if (replica_->replaying_history()) return;  // state rebuilt, no side effects
-  sign_and_push(channel, std::move(block));
+  if (options_.trace != nullptr) {
+    const auto now = replica_->runtime_env().now();
+    const auto self = replica_->self_id();
+    for (const auto& [client, seq] : keys) {
+      options_.trace->record(obs::TraceStage::kBlockcut, now, self, client, seq,
+                             block.header.number);
+    }
+  }
+  sign_and_push(channel, std::move(block), std::move(keys));
 }
 
-void OrderingNode::sign_and_push(std::string channel, ledger::Block block) {
+void OrderingNode::sign_and_push(std::string channel, ledger::Block block,
+                                 TraceKeys keys) {
   const crypto::Hash256 digest = block.header.digest();
+  const std::uint64_t number = block.header.number;
   const BlockSigner* signer = signer_.get();
   const runtime::Duration cost =
       signer->cost_hint() * (options_.double_sign ? 2 : 1);
   smr::Replica* replica = replica_;
+  const runtime::TimePoint sign_submit_at = replica_->runtime_env().now();
+  if (options_.trace != nullptr) {
+    // "sign" marks the job entering the signer pool; the matching "push"
+    // fires when the signature lands, so sign→push measures queueing plus
+    // signing — the §6.2 contention quantity.
+    const auto self = replica_->self_id();
+    for (const auto& [client, seq] : keys) {
+      options_.trace->record(obs::TraceStage::kSign, sign_submit_at, self,
+                             client, seq, number);
+    }
+  }
   replica_->runtime_env().submit_work(
       cost,
       [signer, digest, double_sign = options_.double_sign] {
@@ -146,8 +205,25 @@ void OrderingNode::sign_and_push(std::string channel, ledger::Block block) {
         }
         return signature;
       },
-      [replica, channel = std::move(channel),
+      [this, replica, number, sign_submit_at, keys = std::move(keys),
+       channel = std::move(channel),
        block = std::move(block)](Bytes signature) mutable {
+        const runtime::TimePoint now = replica->runtime_env().now();
+        if (m_.blocks_signed != nullptr) m_.blocks_signed->add();
+        if (m_.sign_latency != nullptr) {
+          m_.sign_latency->record(now - sign_submit_at);
+        }
+        if (options_.trace != nullptr) {
+          const auto self = replica->self_id();
+          for (const auto& [client, seq] : keys) {
+            options_.trace->record(obs::TraceStage::kPush, now, self, client,
+                                   seq, number);
+          }
+          // Block-granularity push event so delivery can be paired even for
+          // envelopes whose keys this trace never saw (see kBlockTraceClient).
+          options_.trace->record(obs::TraceStage::kPush, now, self,
+                                 obs::kBlockTraceClient, number, number);
+        }
         const SignedBlock sb{std::move(channel), std::move(block),
                              std::move(signature)};
         replica->push_to_receivers(sb.encode());
@@ -207,6 +283,7 @@ void OrderingNode::send_cut_markers() {
     request.seq = marker_seq_;
     request.payload = marker.encode();
     const Bytes encoded = smr::encode_request(request);
+    if (m_.cut_markers != nullptr) m_.cut_markers->add();
     for (runtime::ProcessId member : replica_->config().members()) {
       replica_->runtime_env().send(member, encoded);
     }

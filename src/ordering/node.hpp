@@ -70,6 +70,11 @@ struct OrderingNodeOptions {
   /// still agree across replicas); it is the one bounded exception to the
   /// keep-no-chain rule of footnote 9.
   std::size_t push_cache_blocks = 16;
+  /// Optional observability sinks (non-owning; must outlive the node). Null
+  /// disables instrumentation. See OBSERVABILITY.md for the ordering.* names
+  /// this node emits.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRing* trace = nullptr;
 };
 
 class OrderingNode final : public smr::StateMachine, public smr::Replier {
@@ -110,12 +115,21 @@ class OrderingNode final : public smr::StateMachine, public smr::Replier {
     std::uint64_t next_block_number;
     crypto::Hash256 previous_header_hash;
     std::deque<ledger::Block> recent_blocks;  // re-announcement window
+    // (client, seq) of the envelopes pending in `cutter`, kept only while
+    // tracing. Local observability state, not replicated: a state transfer
+    // rebuilds the cutter without keys, so pre-transfer envelopes simply go
+    // untraced. Every cut drains the whole pending set, which keeps this
+    // aligned with the cutter.
+    std::deque<std::pair<std::uint32_t, std::uint64_t>> trace_keys;
   };
+  using TraceKeys = std::vector<std::pair<std::uint32_t, std::uint64_t>>;
 
   ChannelState& channel_state(const std::string& name);
   void emit_block(const std::string& channel, ChannelState& state,
                   std::vector<Bytes> envelopes);
-  void sign_and_push(std::string channel, ledger::Block block);
+  void sign_and_push(std::string channel, ledger::Block block,
+                     TraceKeys keys = {});
+  TraceKeys take_trace_keys(ChannelState& state);
   void arm_batch_timer();
   void send_cut_markers();
 
@@ -130,6 +144,19 @@ class OrderingNode final : public smr::StateMachine, public smr::Replier {
   // Batch-timeout machinery (local, not replicated).
   bool batch_timer_armed_ = false;
   std::uint64_t marker_seq_ = 0;
+
+  // Observability handles resolved once at construction (all null when no
+  // registry is wired). Catalogue: OBSERVABILITY.md.
+  struct MetricHandles {
+    obs::Counter* envelopes_ordered = nullptr;
+    obs::Counter* blocks_cut = nullptr;
+    obs::Counter* blocks_signed = nullptr;
+    obs::Counter* cut_markers = nullptr;
+    obs::Gauge* pending_envelopes = nullptr;
+    obs::LatencyHistogram* block_fill = nullptr;
+    obs::LatencyHistogram* sign_latency = nullptr;
+  };
+  MetricHandles m_;
 };
 
 }  // namespace bft::ordering

@@ -86,6 +86,7 @@ class SimCluster::ProcessEnv final : public Env {
       Process& p = cluster_.process(id_);
       if (p.incarnation != inc || cluster_.crashed_.count(id_)) return;
       if (p.cancelled_timers.erase(id) > 0) return;
+      if (cluster_.timers_fired_ != nullptr) cluster_.timers_fired_->add();
       activate(cluster_.scheduler_.now());
       p.actor->on_timer(id);
     });
@@ -111,6 +112,7 @@ class SimCluster::ProcessEnv final : public Env {
                      result = std::move(result)]() mutable {
           Process& p = cluster_.process(id_);
           if (p.incarnation != inc || cluster_.crashed_.count(id_)) return;
+          if (cluster_.worker_jobs_ != nullptr) cluster_.worker_jobs_->add();
           activate(cluster_.scheduler_.now());
           done(std::move(result));
         });
@@ -249,10 +251,38 @@ void SimCluster::deliver_message(ProcessId from, ProcessId to, Bytes payload,
   scheduler_.schedule_at(
       arrival, [this, from, to, payload = std::move(payload)]() mutable {
         if (crashed_.count(to)) return;
+        if (messages_delivered_ != nullptr) messages_delivered_->add();
         Process& proc = process(to);
         proc.env->activate(scheduler_.now());
         proc.actor->on_message(from, payload);
       });
+}
+
+void SimCluster::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    messages_delivered_ = nullptr;
+    timers_fired_ = nullptr;
+    worker_jobs_ = nullptr;
+    return;
+  }
+  messages_delivered_ = &registry->counter("sim.messages_delivered",
+                                           "messages handed to live actors");
+  timers_fired_ = &registry->counter("sim.timers_fired",
+                                     "timer callbacks delivered");
+  worker_jobs_ = &registry->counter("sim.worker_jobs",
+                                    "worker-pool completions delivered");
+}
+
+void SimCluster::export_metrics(obs::MetricsRegistry& registry,
+                                ProcessId utilization_of) const {
+  registry.gauge("sim.executed_events", "scheduler events executed")
+      .set(static_cast<std::int64_t>(executed_events()));
+  registry.gauge("sim.now_ns", "simulated clock at export").set(now());
+  registry
+      .gauge("sim.protocol_utilization_ppm",
+             "protocol-thread utilization of the probed node, ppm")
+      .set(static_cast<std::int64_t>(protocol_utilization(utilization_of) *
+                                     1e6));
 }
 
 SimCluster::Process& SimCluster::process(ProcessId id) {

@@ -9,6 +9,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/actor.hpp"
 #include "sim/cpu.hpp"
 #include "sim/faults.hpp"
@@ -96,6 +97,18 @@ class SimCluster {
   /// Protocol-thread utilization of a process (0 if it has no CPU model).
   double protocol_utilization(ProcessId id) const;
 
+  /// Wires live runtime counters (sim.messages_delivered, sim.timers_fired,
+  /// sim.worker_jobs) into `registry`; null detaches. Recording never touches
+  /// per-process RNGs or the event order, so instrumented runs stay
+  /// bit-identical to uninstrumented ones.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Writes end-of-run gauges (sim.executed_events, sim.now_ns, and the
+  /// protocol utilization of `utilization_of` in parts-per-million). Call at
+  /// export time; values are snapshots, not live.
+  void export_metrics(obs::MetricsRegistry& registry,
+                      ProcessId utilization_of) const;
+
  private:
   class ProcessEnv;
 
@@ -125,6 +138,11 @@ class SimCluster {
   std::set<ProcessId> crashed_;
   Filter filter_;
   std::optional<sim::LinkFaultModel> fault_model_;
+
+  // Live runtime counters (null = uninstrumented; see set_metrics).
+  obs::Counter* messages_delivered_ = nullptr;
+  obs::Counter* timers_fired_ = nullptr;
+  obs::Counter* worker_jobs_ = nullptr;
 };
 
 }  // namespace bft::runtime

@@ -16,6 +16,12 @@
 // verdicts (see SimCluster::install_fault_plan). Keeping the evaluation here,
 // below the runtime layer, lets unit tests exercise fault selection without a
 // cluster.
+//
+// The randomized chaos sweep (`ctest -L chaos`) builds one FaultPlan per
+// seed; DESIGN.md §6c describes the scenario shapes and the
+// BFT_CHAOS_SEED / BFT_CHAOS_METRICS_DIR reproduction workflow. Fault
+// evaluation shares no state with the obs metrics layer, which is what keeps
+// an instrumented chaos run byte-identical to an uninstrumented one.
 #pragma once
 
 #include <algorithm>

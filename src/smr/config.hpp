@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "consensus/quorum.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/actor.hpp"
 
 namespace bft::smr {
@@ -88,6 +90,12 @@ struct ReplicaParams {
   /// decisions whose ACCEPT quorum this replica missed).
   runtime::Duration stall_timeout = runtime::msec(1000);
   CostModel costs;
+  /// Optional observability sinks (non-owning; must outlive the replica).
+  /// Null disables instrumentation entirely — the hot path only pays a
+  /// pointer test. Metric names are fixed (no per-node prefix), so wire these
+  /// into a single probe replica unless cross-node aggregation is wanted.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRing* trace = nullptr;
 };
 
 }  // namespace bft::smr

@@ -49,8 +49,42 @@ Replica::Replica(ProcessId self, ClusterConfig config, ReplicaParams params,
       params_(params),
       app_(app),
       replier_(replier),
-      signing_key_(process_signing_key(self)) {
+      signing_key_(process_signing_key(self)),
+      trace_(params.trace) {
   if (app_ == nullptr) throw std::invalid_argument("Replica: null state machine");
+  if (params_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *params_.metrics;
+    m_.requests_received =
+        &reg.counter("smr.requests_received", "requests admitted to the pool");
+    m_.batches_proposed =
+        &reg.counter("smr.batches_proposed", "PROPOSE batches sent as leader");
+    m_.batches_decided =
+        &reg.counter("smr.batches_decided", "consensus decisions observed");
+    m_.requests_executed = &reg.counter(
+        "smr.requests_executed", "requests run through the state machine");
+    m_.pushes_sent = &reg.counter(
+        "smr.pushes_sent", "custom-replier pushes (one per block per receiver)");
+    m_.regency_changes =
+        &reg.counter("smr.regency_changes", "synchronization-phase completions");
+    m_.state_transfers =
+        &reg.counter("smr.state_transfers", "state transfers started");
+    m_.pending_requests =
+        &reg.gauge("smr.pending_requests", "request-pool depth");
+    m_.batch_size =
+        &reg.histogram("smr.batch_size", "requests", "requests per proposal");
+    m_.propose_to_write = &reg.histogram("smr.propose_to_write_quorum_ns", "ns",
+                                         "PROPOSE seen to WRITE quorum");
+    m_.write_to_decide = &reg.histogram("smr.write_quorum_to_decide_ns", "ns",
+                                        "WRITE quorum to decision");
+    m_.propose_to_decide = &reg.histogram("smr.propose_to_decide_ns", "ns",
+                                          "PROPOSE seen to decision");
+    instance_metrics_.write_votes =
+        &reg.counter("consensus.write_votes", "WRITE votes registered");
+    instance_metrics_.accept_votes =
+        &reg.counter("consensus.accept_votes", "ACCEPT votes registered");
+    instance_metrics_.duplicate_votes = &reg.counter(
+        "consensus.duplicate_votes", "re-votes dropped (first-vote-only rule)");
+  }
 }
 
 bool Replica::is_leader() const {
@@ -284,6 +318,8 @@ void Replica::handle_request(ProcessId from, const Request& request,
   if (pending_.count(key) > 0) return;
   pending_.emplace(key, PendingRequest{request, false});
   pending_order_.push_back(key);
+  if (m_.requests_received != nullptr) m_.requests_received->add();
+  update_pending_gauge();
   arm_request_timer();
   maybe_propose();
 }
@@ -311,6 +347,10 @@ void Replica::maybe_propose() {
     pending_.at({r.client, r.seq}).inflight = true;
   }
   d.proposed_by_me = true;
+  if (m_.batches_proposed != nullptr) m_.batches_proposed->add();
+  if (m_.batch_size != nullptr) {
+    m_.batch_size->record(static_cast<std::int64_t>(batch.requests.size()));
+  }
 
   Bytes value = batch.encode();
   charge(params_.costs.per_consensus_msg +
@@ -331,6 +371,9 @@ Replica::InstanceDriver& Replica::driver(ConsensusId cid) {
              .emplace(std::piecewise_construct, std::forward_as_tuple(cid),
                       std::forward_as_tuple(cid, &config_.quorums()))
              .first;
+    if (params_.metrics != nullptr) {
+      it->second.instance.set_metrics(&instance_metrics_);
+    }
   }
   return it->second;
 }
@@ -365,6 +408,10 @@ void Replica::accept_proposal(ConsensusId cid, Epoch epoch, ProcessId from,
     return;
   }
   InstanceDriver& d = driver(cid);
+  if (d.proposed_at < 0) {
+    d.proposed_at = env().now();
+    trace_batch(obs::TraceStage::kPropose, cid, value);
+  }
   const ValueHash hash = d.instance.add_value(std::move(value));
   const ReplicaId from_idx = config_.index_of(from);
   const ReplicaId leader_idx = config_.index_of(config_.leader(epoch));
@@ -420,6 +467,18 @@ void Replica::on_write_quorum(ConsensusId cid, Epoch epoch) {
   if (sync_in_progress_ && cid == sync_cid_) sync_in_progress_ = false;
 
   const auto hash = d.instance.write_quorum_hash(epoch);
+  if (d.write_quorum_at < 0) {
+    d.write_quorum_at = env().now();
+    if (m_.propose_to_write != nullptr && d.proposed_at >= 0) {
+      m_.propose_to_write->record(d.write_quorum_at - d.proposed_at);
+    }
+    if (trace_ != nullptr) {
+      const Bytes* value = d.instance.value_for(*hash);
+      if (value != nullptr) {
+        trace_batch(obs::TraceStage::kWriteQuorum, cid, *value);
+      }
+    }
+  }
   if (d.sent_accept.count(epoch) == 0) {
     d.sent_accept.insert(epoch);
     broadcast(encode_accept(AcceptMsg{cid, epoch, *hash}));
@@ -452,9 +511,18 @@ void Replica::on_decided(ConsensusId cid) {
   InstanceDriver& d = driver(cid);
   ++decided_count_;
   timeout_backoff_ = 0;
+  if (m_.batches_decided != nullptr) m_.batches_decided->add();
+  const runtime::TimePoint decided_at = env().now();
+  if (m_.propose_to_decide != nullptr && d.proposed_at >= 0) {
+    m_.propose_to_decide->record(decided_at - d.proposed_at);
+  }
+  if (m_.write_to_decide != nullptr && d.write_quorum_at >= 0) {
+    m_.write_to_decide->record(decided_at - d.write_quorum_at);
+  }
   const ValueHash& hash = d.instance.decided_hash();
   const Bytes* value = d.instance.value_for(hash);
   if (value != nullptr) {
+    trace_batch(obs::TraceStage::kAccept, cid, *value);
     decided_values_[cid] = *value;
   } else {
     decided_awaiting_value_[cid] = hash;
@@ -585,6 +653,7 @@ void Replica::try_apply() {
   }
 
   if (progressed) {
+    update_pending_gauge();
     disarm_request_timer();
     arm_request_timer();
     if (sync_in_progress_ && confirm_cursor_ + 1 > sync_cid_) {
@@ -629,6 +698,7 @@ void Replica::execute_batch(ConsensusId cid, ByteView value, bool tentative) {
       reply = app_->execute(request, ctx);
     }
     ++executed_count_;
+    if (m_.requests_executed != nullptr) m_.requests_executed->add();
     auto& cache = reply_cache_[request.client];
     cache[request.seq] = Reply{request.seq, cid, reply};
     while (cache.size() > kReplyCacheWindow) cache.erase(cache.begin());
@@ -797,6 +867,7 @@ void Replica::handle_stop(ProcessId from, const Stop& msg) {
 }
 
 void Replica::install_regency(Epoch next) {
+  if (m_.regency_changes != nullptr) m_.regency_changes->add();
   regency_ = next;
   sync_in_progress_ = true;
   sync_cid_ = confirm_cursor_ + 1;
@@ -1034,6 +1105,7 @@ void Replica::note_future_traffic(ConsensusId cid) {
 void Replica::begin_state_transfer() {
   if (transferring_) return;
   transferring_ = true;
+  if (m_.state_transfers != nullptr) m_.state_transfers->add();
   transfer_replies_.clear();
   for (ProcessId member : config_.members()) {
     if (member != self_) {
@@ -1216,6 +1288,9 @@ void Replica::adopt_state(ConsensusId snapshot_cid, const Bytes& snapshot,
 
 void Replica::push_to_receivers(ByteView payload) {
   const Bytes encoded = encode_push(payload);
+  if (m_.pushes_sent != nullptr) {
+    m_.pushes_sent->add(receivers_.size());
+  }
   for (ProcessId receiver : receivers_) {
     env().send(receiver, encoded);
   }
@@ -1237,6 +1312,30 @@ void Replica::disarm_request_timer() {
     request_timer_ = 0;
   }
   forwarded_phase_ = false;
+}
+
+// --------------------------------------------------------------------------
+// Observability
+// --------------------------------------------------------------------------
+
+void Replica::trace_batch(obs::TraceStage stage, ConsensusId cid,
+                          ByteView value) {
+  if (trace_ == nullptr || replaying_) return;
+  try {
+    const Batch batch = Batch::decode(value);
+    const runtime::TimePoint now = env().now();
+    for (const Request& r : batch.requests) {
+      trace_->record(stage, now, self_, r.client, r.seq, cid);
+    }
+  } catch (const DecodeError&) {
+    // Already validated on every path that traces; never fatal regardless.
+  }
+}
+
+void Replica::update_pending_gauge() {
+  if (m_.pending_requests != nullptr) {
+    m_.pending_requests->set(static_cast<std::int64_t>(pending_.size()));
+  }
 }
 
 }  // namespace bft::smr

@@ -110,6 +110,9 @@ class Replica : public runtime::Actor {
     std::set<consensus::Epoch> sent_accept;
     bool proposed_by_me = false;
     bool value_requested = false;
+    // Observability timestamps (local view, -1 = not yet observed).
+    runtime::TimePoint proposed_at = -1;
+    runtime::TimePoint write_quorum_at = -1;
   };
 
   // -- message handlers --
@@ -173,6 +176,12 @@ class Replica : public runtime::Actor {
   void arm_request_timer();
   void disarm_request_timer();
   void charge(runtime::Duration cost) { env().charge_cpu(cost); }
+
+  // -- observability --
+  /// Decodes `value` and emits one trace event per contained request.
+  /// No-op when tracing is off or during history replay.
+  void trace_batch(obs::TraceStage stage, ConsensusId cid, ByteView value);
+  void update_pending_gauge();
 
   runtime::ProcessId self_;
   ClusterConfig config_;
@@ -265,6 +274,27 @@ class Replica : public runtime::Actor {
 
   // Timers owned by the application (see set_app_timer).
   std::set<std::uint64_t> app_timers_;
+
+  // Observability handles, resolved once at construction from
+  // params_.metrics (all null when no registry is wired — the hot path then
+  // pays a single pointer test per site). Catalogue: OBSERVABILITY.md.
+  struct MetricHandles {
+    obs::Counter* requests_received = nullptr;
+    obs::Counter* batches_proposed = nullptr;
+    obs::Counter* batches_decided = nullptr;
+    obs::Counter* requests_executed = nullptr;
+    obs::Counter* pushes_sent = nullptr;
+    obs::Counter* regency_changes = nullptr;
+    obs::Counter* state_transfers = nullptr;
+    obs::Gauge* pending_requests = nullptr;
+    obs::LatencyHistogram* batch_size = nullptr;
+    obs::LatencyHistogram* propose_to_write = nullptr;
+    obs::LatencyHistogram* write_to_decide = nullptr;
+    obs::LatencyHistogram* propose_to_decide = nullptr;
+  };
+  MetricHandles m_;
+  consensus::InstanceMetrics instance_metrics_;  // shared by all drivers
+  obs::TraceRing* trace_ = nullptr;
 };
 
 }  // namespace bft::smr

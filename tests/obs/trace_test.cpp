@@ -1,0 +1,142 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft::obs {
+namespace {
+
+TraceEvent ev(TraceStage stage, std::int64_t at, std::uint32_t client,
+              std::uint64_t seq, std::uint64_t detail = 0) {
+  return TraceEvent{at, /*node=*/0, client, seq, detail, stage};
+}
+
+TEST(TraceRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceRing(100).capacity(), 128u);
+  EXPECT_EQ(TraceRing(128).capacity(), 128u);
+  EXPECT_EQ(TraceRing(1).capacity(), 2u);
+}
+
+TEST(TraceRingTest, SnapshotBeforeWrapIsOldestFirst) {
+  TraceRing ring(8);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    ring.record(TraceStage::kSubmit, /*at=*/i, /*node=*/0, /*client=*/1,
+                /*seq=*/static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(ring.recorded(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].at, static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(TraceRingTest, WraparoundKeepsNewestAndCountsDropped) {
+  TraceRing ring(8);
+  for (std::int64_t i = 0; i < 20; ++i) {
+    ring.record(TraceStage::kSubmit, i, 0, 1, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(ring.recorded(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The surviving window is the newest 8 events, oldest first: at = 12..19.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].at, static_cast<std::int64_t>(12 + i));
+  }
+}
+
+TEST(StageBreakdownTest, FullChainPairsAdjacentStages) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(TraceStage::kSubmit, 100, 7, 1));
+  events.push_back(ev(TraceStage::kPropose, 150, 7, 1));
+  events.push_back(ev(TraceStage::kWriteQuorum, 180, 7, 1));
+  events.push_back(ev(TraceStage::kAccept, 200, 7, 1));
+  events.push_back(ev(TraceStage::kBlockcut, 210, 7, 1, /*block=*/5));
+  events.push_back(ev(TraceStage::kSign, 215, 7, 1, 5));
+  events.push_back(ev(TraceStage::kPush, 300, 7, 1, 5));
+  events.push_back(ev(TraceStage::kFrontendAccept, 360, 7, 1, 5));
+
+  const auto breakdown = stage_breakdown(events);
+  const auto expect = [&breakdown](const std::string& name, std::int64_t delta) {
+    const auto it = breakdown.find(name);
+    ASSERT_NE(it, breakdown.end()) << name;
+    EXPECT_EQ(it->second.count, 1u) << name;
+    EXPECT_EQ(it->second.max, delta) << name;
+  };
+  expect("submit_to_propose", 50);
+  expect("propose_to_write_quorum", 30);
+  expect("write_quorum_to_accept", 20);
+  expect("accept_to_blockcut", 10);
+  expect("blockcut_to_sign", 5);
+  expect("sign_to_push", 85);
+  expect("submit_to_frontend_accept", 260);
+}
+
+TEST(StageBreakdownTest, MissingStagesBridgeToNextPresent) {
+  // Ring wraparound can eat intermediate stages; the pairing bridges to the
+  // next present one instead of dropping the envelope.
+  std::vector<TraceEvent> events;
+  events.push_back(ev(TraceStage::kSubmit, 100, 7, 1));
+  events.push_back(ev(TraceStage::kAccept, 220, 7, 1));
+  const auto breakdown = stage_breakdown(events);
+  ASSERT_EQ(breakdown.count("submit_to_accept"), 1u);
+  EXPECT_EQ(breakdown.at("submit_to_accept").max, 120);
+  EXPECT_EQ(breakdown.count("submit_to_propose"), 0u);
+}
+
+TEST(StageBreakdownTest, FirstOccurrenceWinsPerStage) {
+  // A replica may trace the same batch stage more than once (e.g. retried
+  // pairing); only the earliest timestamp per (envelope, stage) counts.
+  std::vector<TraceEvent> events;
+  events.push_back(ev(TraceStage::kSubmit, 100, 7, 1));
+  events.push_back(ev(TraceStage::kPropose, 180, 7, 1));
+  events.push_back(ev(TraceStage::kPropose, 140, 7, 1));
+  const auto breakdown = stage_breakdown(events);
+  EXPECT_EQ(breakdown.at("submit_to_propose").max, 40);
+}
+
+TEST(StageBreakdownTest, BlockLevelEventsPairByBlockNumber) {
+  // LAN receivers never learn the (client, seq) keys of envelopes they did
+  // not submit, so push->frontend_accept pairs at block granularity via the
+  // kBlockTraceClient sentinel + detail = block number.
+  std::vector<TraceEvent> events;
+  events.push_back(ev(TraceStage::kPush, 500, kBlockTraceClient, 9, 9));
+  events.push_back(ev(TraceStage::kFrontendAccept, 650, kBlockTraceClient, 9, 9));
+  events.push_back(ev(TraceStage::kPush, 700, kBlockTraceClient, 10, 10));
+  events.push_back(
+      ev(TraceStage::kFrontendAccept, 820, kBlockTraceClient, 10, 10));
+  const auto breakdown = stage_breakdown(events);
+  ASSERT_EQ(breakdown.count("push_to_frontend_accept"), 1u);
+  const StageSummary& s = breakdown.at("push_to_frontend_accept");
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.max, 150);
+  // Block-level events must not fabricate per-envelope chains.
+  EXPECT_EQ(breakdown.count("sign_to_push"), 0u);
+}
+
+TEST(StageBreakdownTest, NegativeDeltasDiscarded) {
+  // Wall-clock skew across real processes can order frontend_accept before
+  // push; such pairs contribute no sample rather than a bogus one.
+  std::vector<TraceEvent> events;
+  events.push_back(ev(TraceStage::kPush, 900, kBlockTraceClient, 3, 3));
+  events.push_back(ev(TraceStage::kFrontendAccept, 850, kBlockTraceClient, 3, 3));
+  const auto breakdown = stage_breakdown(events);
+  EXPECT_EQ(breakdown.count("push_to_frontend_accept"), 0u);
+}
+
+TEST(StageBreakdownTest, StageNamesAreStable) {
+  // These names are the JSON export surface documented in OBSERVABILITY.md.
+  EXPECT_STREQ(trace_stage_name(TraceStage::kSubmit), "submit");
+  EXPECT_STREQ(trace_stage_name(TraceStage::kPropose), "propose");
+  EXPECT_STREQ(trace_stage_name(TraceStage::kWriteQuorum), "write_quorum");
+  EXPECT_STREQ(trace_stage_name(TraceStage::kAccept), "accept");
+  EXPECT_STREQ(trace_stage_name(TraceStage::kBlockcut), "blockcut");
+  EXPECT_STREQ(trace_stage_name(TraceStage::kSign), "sign");
+  EXPECT_STREQ(trace_stage_name(TraceStage::kPush), "push");
+  EXPECT_STREQ(trace_stage_name(TraceStage::kFrontendAccept),
+               "frontend_accept");
+}
+
+}  // namespace
+}  // namespace bft::obs

@@ -13,13 +13,19 @@
 //
 // Failures print the seed; rerun exactly one scenario with
 //   BFT_CHAOS_SEED=<seed> ./build/tests/chaos_test
+//
+// Every scenario also runs fully instrumented (obs registry + trace ring on
+// probe node 0 and the submitter); set BFT_CHAOS_METRICS_DIR=<dir> to dump the
+// per-seed JSON exports (chaos_<seed>.json, schema in OBSERVABILITY.md).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "ledger/chain.hpp"
+#include "obs/export.hpp"
 #include "ordering/deployment.hpp"
 #include "ordering/invariants.hpp"
 #include "runtime/sim_runtime.hpp"
@@ -64,6 +70,8 @@ struct ScenarioResult {
   std::string tip;  // header digest of the submitter's chain tip
   consensus::Epoch max_honest_regency = 0;
   std::uint64_t tampered_sends = 0;
+  std::uint64_t metric_delivered = 0;  // frontend.delivered_envelopes counter
+  std::string metrics_json;            // full obs export for this scenario
 };
 
 ScenarioKind kind_of(std::uint64_t seed) {
@@ -109,6 +117,9 @@ ScenarioResult run_scenario(std::uint64_t seed) {
   const ScenarioKind kind = kind_of(seed);
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5eedULL);  // scenario parameters
 
+  obs::MetricsRegistry registry;
+  obs::TraceRing trace(1 << 14);
+
   ServiceOptions options;
   options.nodes = {0, 1, 2, 3};
   options.block_size = 5;
@@ -124,10 +135,13 @@ ScenarioResult run_scenario(std::uint64_t seed) {
     options.corrupt_signers = {static_cast<runtime::ProcessId>(
         rng.uniform(kNodes))};
   }
+  options.metrics = &registry;
+  options.trace = &trace;
   Service service = make_service(options);
 
   runtime::SimCluster cluster(
       sim::make_lan(110, kMillisecond / 10, sim::NetworkConfig{}, seed), seed);
+  cluster.set_metrics(&registry);
 
   std::unique_ptr<smr::ByzantineReplica> byz;
   if (kind == ScenarioKind::equivocating_leader ||
@@ -150,7 +164,10 @@ ScenarioResult run_scenario(std::uint64_t seed) {
   InvariantChecker checker;
   ledger::BlockStore store("channel-0");
   ScenarioResult result;
-  Frontend submitter(service.cluster, fo,
+  FrontendOptions submitter_fo = fo;
+  submitter_fo.metrics = &registry;  // frontend.* counters + submit spans
+  submitter_fo.trace = &trace;
+  Frontend submitter(service.cluster, submitter_fo,
                      [&checker, &store, &result](const ledger::Block& block) {
                        checker.observe(0, block);
                        const Status st = store.append(block);
@@ -226,6 +243,16 @@ ScenarioResult run_scenario(std::uint64_t seed) {
                                          service.nodes[i].replica->regency());
   }
   if (byz != nullptr) result.tampered_sends = byz->tampered_sends();
+  cluster.export_metrics(registry, 0);
+  result.metric_delivered =
+      registry.counter("frontend.delivered_envelopes").value();
+  result.metrics_json = obs::to_json(
+      registry, &trace,
+      {{"bench", "chaos"},
+       {"scenario", kind_name(kind)},
+       {"seed", std::to_string(seed)}},
+      {{"delivered", static_cast<double>(result.delivered)},
+       {"height", static_cast<double>(result.height)}});
   if (std::getenv("BFT_CHAOS_SEED") != nullptr) {
     std::fprintf(stderr, "[chaos %llu] delivered=%llu height=%zu\n",
                  static_cast<unsigned long long>(seed),
@@ -285,6 +312,22 @@ TEST(ChaosSweepTest, RandomizedFaultScenariosPreserveInvariants) {
     EXPECT_TRUE(result.violations.empty()) << join(result.violations);
     EXPECT_EQ(result.delivered, kEnvelopes);
     EXPECT_GT(result.height, 0u);
+    // The instrumented submitter's counter must agree exactly with the
+    // frontend's own bookkeeping, and the export must be well-formed.
+    EXPECT_EQ(result.metric_delivered, result.delivered);
+    EXPECT_NE(result.metrics_json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(result.metrics_json.find("\"trace\""), std::string::npos);
+    if (const char* dir = std::getenv("BFT_CHAOS_METRICS_DIR")) {
+      const std::string path =
+          std::string(dir) + "/chaos_" + std::to_string(seed) + ".json";
+      if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+        std::fputs(result.metrics_json.c_str(), f);
+        std::fputs("\n", f);
+        std::fclose(f);
+      } else {
+        ADD_FAILURE() << "cannot write " << path;
+      }
+    }
     if (kind == ScenarioKind::equivocating_leader ||
         kind == ScenarioKind::mute_leader) {
       // The Byzantine leader actually tampered, and the honest majority had
@@ -307,6 +350,9 @@ TEST(ChaosSweepTest, ScenariosAreDeterministic) {
     EXPECT_EQ(a.delivered, b.delivered);
     EXPECT_EQ(a.max_honest_regency, b.max_honest_regency);
     EXPECT_EQ(join(a.violations), join(b.violations));
+    // Instrumentation is part of the determinism contract: counters,
+    // histograms and the trace breakdown must be byte-identical per seed.
+    EXPECT_EQ(a.metrics_json, b.metrics_json);
   }
 }
 
