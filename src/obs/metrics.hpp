@@ -68,8 +68,12 @@ class LatencyHistogram {
   static constexpr int kSubBits = 4;
   static constexpr int kSubBuckets = 1 << kSubBits;  // 16
   static constexpr int kMaxOctave = 47;
+  // Octaves kSubBits..kMaxOctave inclusive each contribute kSubBuckets buckets
+  // on top of the linear region: 16 + 44 * 16 = 720.
   static constexpr std::size_t kBucketCount =
-      kSubBuckets + static_cast<std::size_t>(kMaxOctave - kSubBits) * kSubBuckets;
+      kSubBuckets +
+      static_cast<std::size_t>(kMaxOctave - kSubBits + 1) * kSubBuckets;
+  static_assert(kBucketCount == 720);
 
   void record(std::int64_t value);
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -62,8 +63,34 @@ TEST(LatencyHistogramTest, BucketGeometryIsConsistent) {
   }
 }
 
+TEST(LatencyHistogramTest, TopOctaveStaysInBounds) {
+  // The top octave [2^47, 2^48) must map inside the bucket array; a previous
+  // off-by-one-octave in kBucketCount sent these indices past the end.
+  const std::int64_t lo = std::int64_t{1} << LatencyHistogram::kMaxOctave;
+  EXPECT_LT(LatencyHistogram::bucket_index(lo - 1),
+            LatencyHistogram::kBucketCount);
+  EXPECT_EQ(LatencyHistogram::bucket_index(lo),
+            LatencyHistogram::kBucketCount - LatencyHistogram::kSubBuckets);
+  EXPECT_EQ(LatencyHistogram::bucket_index(2 * lo - 1),
+            LatencyHistogram::kBucketCount - 1);
+  // record() on a top-octave value must hit a real bucket, not adjacent
+  // scalars (ASan/TSan builds catch the out-of-bounds write).
+  LatencyHistogram h;
+  h.record(lo);
+  h.record(2 * lo - 1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), 2 * lo - 1);
+  EXPECT_EQ(h.quantile(0.0),
+            LatencyHistogram::bucket_lower(LatencyHistogram::bucket_index(lo)) +
+                LatencyHistogram::bucket_width(LatencyHistogram::bucket_index(lo)) / 2);
+}
+
 TEST(LatencyHistogramTest, OutOfRangeValuesClamp) {
   EXPECT_EQ(LatencyHistogram::bucket_index(-5), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index((std::int64_t{1} << 48) - 1),
+            LatencyHistogram::kBucketCount - 1);
+  EXPECT_EQ(LatencyHistogram::bucket_index(std::int64_t{1} << 48),
+            LatencyHistogram::kBucketCount - 1);
   EXPECT_EQ(LatencyHistogram::bucket_index(std::int64_t{1} << 50),
             LatencyHistogram::kBucketCount - 1);
   EXPECT_EQ(LatencyHistogram::bucket_index(
