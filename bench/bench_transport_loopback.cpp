@@ -1,0 +1,139 @@
+// Transport micro-benchmark: TcpTransport frame throughput over loopback.
+//
+// Two transports (one "node", one "frontend") on 127.0.0.1; the sender pumps
+// frames of each payload size for a fixed window and the receiver counts
+// arrivals. Reported per size: send-side frame rate, delivered frame rate,
+// goodput (payload MB/s) and frames shed by the bounded send queue — the
+// backpressure behaviour an overloaded ordering node would see. Loopback has
+// no propagation delay, so this measures the framing + queue + thread-handoff
+// overhead that sits under every real deployment (DESIGN.md §2b).
+//
+//   bench_transport_loopback [--seconds 1.0] [--sizes 40,200,1024,4096]
+//                            [--queue 1024]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/cli.hpp"
+#include "runtime/tcp_transport.hpp"
+
+using namespace bft;
+
+namespace {
+
+// Grabs an ephemeral port by binding to 0; the tiny close-to-listen race is
+// acceptable for a local bench.
+std::uint16_t free_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+std::vector<std::size_t> parse_sizes(const std::string& csv) {
+  std::vector<std::size_t> sizes;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string item =
+        csv.substr(pos, comma == std::string::npos ? csv.npos : comma - pos);
+    if (!item.empty()) sizes.push_back(std::stoul(item));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const double seconds = flags.get_double("seconds", 1.0);
+  const std::size_t queue =
+      static_cast<std::size_t>(flags.get_int("queue", 1024));
+  const std::vector<std::size_t> sizes =
+      parse_sizes(flags.get("sizes", "40,200,1024,4096"));
+  if (!flags.unused().empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_transport_loopback [--seconds S] "
+                 "[--sizes a,b,...] [--queue N]\n%s\n",
+                 flags.unused().c_str());
+    return 2;
+  }
+
+  std::printf("TcpTransport loopback throughput (%.1f s/size, queue %zu)\n\n",
+              seconds, queue);
+  std::printf("%10s %14s %14s %12s %10s\n", "payload", "sent/s", "delivered/s",
+              "goodput", "shed");
+
+  for (const std::size_t size : sizes) {
+    const std::uint16_t node_port = free_port();
+    const std::uint16_t frontend_port = free_port();
+    const runtime::Topology topology = runtime::Topology::parse(
+        "node 0 127.0.0.1:" + std::to_string(node_port) +
+        "\nfrontend 1 127.0.0.1:" + std::to_string(frontend_port) + "\n");
+
+    runtime::TcpTransportOptions options;
+    options.send_queue_capacity = queue;
+    runtime::TcpTransport sender(topology, {0}, options);
+    runtime::TcpTransport receiver(topology, {1}, options);
+
+    std::atomic<std::uint64_t> delivered{0};
+    receiver.start([&delivered](runtime::ProcessId, runtime::ProcessId,
+                                Payload) { delivered.fetch_add(1); });
+    sender.start([](runtime::ProcessId, runtime::ProcessId, Payload) {});
+
+    // One shared allocation for every send, as a broadcast would use.
+    const Payload payload(Bytes(size, 0xa5));
+    std::uint64_t accepted = 0;
+    std::uint64_t attempted = 0;
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline = start + std::chrono::duration<double>(seconds);
+    while (std::chrono::steady_clock::now() < deadline) {
+      // Batch between clock reads; sends are non-blocking by contract.
+      for (int i = 0; i < 256; ++i) {
+        ++attempted;
+        if (sender.send(0, 1, payload)) ++accepted;
+      }
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    // Let the writer/reader drain what was queued before measuring delivery.
+    const std::uint64_t target = accepted;
+    const auto drain_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (delivered.load() < target &&
+           std::chrono::steady_clock::now() < drain_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    sender.stop();
+    receiver.stop();
+
+    const double sent_rate = static_cast<double>(attempted) / elapsed;
+    const double delivered_rate = static_cast<double>(delivered.load()) / elapsed;
+    const double goodput_mbs =
+        delivered_rate * static_cast<double>(size) / 1e6;
+    std::printf("%9zuB %12.0f/s %12.0f/s %9.1fMB/s %10llu\n", size, sent_rate,
+                delivered_rate, goodput_mbs,
+                static_cast<unsigned long long>(sender.frames_dropped()));
+  }
+
+  std::printf(
+      "\nshed = frames dropped by the bounded per-peer send queue "
+      "(transport.send_dropped)\n");
+  return 0;
+}

@@ -15,7 +15,22 @@ int hex_nibble(char c) {
   throw std::invalid_argument("from_hex: invalid hex character");
 }
 
+const std::shared_ptr<const Bytes>& shared_empty_bytes() {
+  static const std::shared_ptr<const Bytes> empty =
+      std::make_shared<const Bytes>();
+  return empty;
+}
+
 }  // namespace
+
+Payload::Payload() : data_(shared_empty_bytes()) {}
+
+Payload::Payload(Bytes data)
+    : data_(std::make_shared<const Bytes>(std::move(data))) {}
+
+Payload::Payload(std::shared_ptr<const Bytes> data) : data_(std::move(data)) {
+  if (data_ == nullptr) data_ = shared_empty_bytes();
+}
 
 std::string to_hex(ByteView data) {
   std::string out;

@@ -7,15 +7,50 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace bft {
 
 using Bytes = std::vector<std::uint8_t>;
 using ByteView = std::span<const std::uint8_t>;
+
+/// Immutable, cheaply copyable byte buffer: a refcounted handle to an owned
+/// `Bytes`. This is the currency of message fan-out — a replica broadcasting
+/// one encoded batch to n-1 peers hands every runtime/transport layer the
+/// same underlying allocation instead of deep-copying per destination.
+/// Implicitly constructible from `Bytes` so `env().send(to, encode_x(...))`
+/// call sites need no change.
+class Payload {
+ public:
+  /// Empty payload (shares a process-wide empty buffer; never null).
+  Payload();
+  /// Takes ownership of `data` — the one allocation all copies share.
+  Payload(Bytes data);  // NOLINT(google-explicit-constructor)
+  /// Adopts an existing shared buffer (must not be null).
+  explicit Payload(std::shared_ptr<const Bytes> data);
+
+  ByteView view() const { return ByteView(data_->data(), data_->size()); }
+  const Bytes& bytes() const { return *data_; }
+  std::size_t size() const { return data_->size(); }
+  bool empty() const { return data_->empty(); }
+
+  /// Number of Payload handles sharing the buffer (introspection for tests
+  /// proving single-allocation broadcast).
+  long use_count() const { return data_.use_count(); }
+  /// Stable identity of the underlying allocation.
+  const Bytes* buffer_id() const { return data_.get(); }
+
+  /// Copies the contents out into a fresh owned vector.
+  Bytes to_bytes() const { return *data_; }
+
+ private:
+  std::shared_ptr<const Bytes> data_;
+};
 
 /// Renders `data` as lowercase hexadecimal ("" for empty input).
 std::string to_hex(ByteView data);

@@ -101,7 +101,7 @@ void CrashOrderingNode::handle_request(ByteView payload) {
   }
   env().charge_cpu(options_.per_envelope_cost);
   const std::uint64_t seq = next_seq_++;
-  const Bytes append = encode_append(seq, envelope);
+  const Payload append = Payload(encode_append(seq, envelope));
   log_[seq] = std::move(envelope);
   acks_[seq].insert(self_);
   for (runtime::ProcessId node : options_.nodes) {
@@ -139,7 +139,7 @@ void CrashOrderingNode::handle_ack(runtime::ProcessId from, ByteView payload) {
     }
     if (upto > commit_watermark_) {
       advance_commit(upto);
-      const Bytes commit = encode_commit(upto);
+      const Payload commit = Payload(encode_commit(upto));
       for (runtime::ProcessId node : options_.nodes) {
         if (node != self_) env().send(node, commit);
       }
@@ -185,7 +185,7 @@ void CrashOrderingNode::emit_block(std::vector<Bytes> envelopes) {
       [this, block = std::move(block)](Bytes signature) mutable {
         const SignedBlock sb{options_.channel, std::move(block),
                              std::move(signature)};
-        const Bytes push = smr::encode_push(sb.encode());
+        const Payload push = Payload(smr::encode_push(sb.encode()));
         for (runtime::ProcessId receiver : receivers_) {
           env().send(receiver, push);
         }

@@ -1,5 +1,7 @@
 #include "ordering/deployment.hpp"
 
+#include <algorithm>
+
 namespace bft::ordering {
 
 namespace {
@@ -18,6 +20,43 @@ std::shared_ptr<BlockSigner> make_signer(const ServiceOptions& options,
   return signer;
 }
 
+smr::ClusterConfig make_cluster(const ServiceOptions& options) {
+  return options.vmax_nodes.empty()
+             ? smr::ClusterConfig::classic(options.nodes)
+             : smr::ClusterConfig::wheat(options.nodes, options.vmax_nodes);
+}
+
+NodeBundle make_bundle(const ServiceOptions& options,
+                       const smr::ClusterConfig& cluster,
+                       runtime::ProcessId node) {
+  NodeBundle bundle;
+  bundle.signer = make_signer(options, node);
+  const bool instrumented =
+      options.metrics != nullptr && node == options.metrics_node;
+  OrderingNodeOptions node_options;
+  node_options.default_channel = options.channel;
+  node_options.block_size = options.block_size;
+  node_options.batch_timeout = options.batch_timeout;
+  node_options.double_sign = options.double_sign;
+  if (instrumented) {
+    node_options.metrics = options.metrics;
+    node_options.trace = options.trace;
+  }
+  bundle.app = std::make_unique<OrderingNode>(node_options, bundle.signer);
+  smr::ReplicaParams replica_params = options.replica_params;
+  if (instrumented) {
+    replica_params.metrics = options.metrics;
+    replica_params.trace = options.trace;
+  } else {
+    replica_params.metrics = nullptr;
+    replica_params.trace = nullptr;
+  }
+  bundle.replica = std::make_unique<smr::Replica>(
+      node, cluster, replica_params, bundle.app.get(), bundle.app.get());
+  bundle.app->attach(*bundle.replica);
+  return bundle;
+}
+
 }  // namespace
 
 std::shared_ptr<BlockSigner> Service::make_verifier(
@@ -30,42 +69,36 @@ Service make_service(const ServiceOptions& options) {
   if (options.nodes.empty()) {
     throw std::invalid_argument("make_service: need at least one node");
   }
-  smr::ClusterConfig cluster =
-      options.vmax_nodes.empty()
-          ? smr::ClusterConfig::classic(options.nodes)
-          : smr::ClusterConfig::wheat(options.nodes, options.vmax_nodes);
-
-  Service service{std::move(cluster), {}};
+  Service service{make_cluster(options), {}};
   for (runtime::ProcessId node : service.cluster.members()) {
-    NodeBundle bundle;
-    bundle.signer = make_signer(options, node);
-    const bool instrumented =
-        options.metrics != nullptr && node == options.metrics_node;
-    OrderingNodeOptions node_options;
-    node_options.default_channel = options.channel;
-    node_options.block_size = options.block_size;
-    node_options.batch_timeout = options.batch_timeout;
-    node_options.double_sign = options.double_sign;
-    if (instrumented) {
-      node_options.metrics = options.metrics;
-      node_options.trace = options.trace;
-    }
-    bundle.app = std::make_unique<OrderingNode>(node_options, bundle.signer);
-    smr::ReplicaParams replica_params = options.replica_params;
-    if (instrumented) {
-      replica_params.metrics = options.metrics;
-      replica_params.trace = options.trace;
-    } else {
-      replica_params.metrics = nullptr;
-      replica_params.trace = nullptr;
-    }
-    bundle.replica = std::make_unique<smr::Replica>(
-        node, service.cluster, replica_params, bundle.app.get(),
-        bundle.app.get());
-    bundle.app->attach(*bundle.replica);
-    service.nodes.push_back(std::move(bundle));
+    service.nodes.push_back(make_bundle(options, service.cluster, node));
   }
   return service;
+}
+
+SingleNode make_node(const ServiceOptions& options, runtime::ProcessId self) {
+  if (std::find(options.nodes.begin(), options.nodes.end(), self) ==
+      options.nodes.end()) {
+    throw std::invalid_argument("make_node: " + std::to_string(self) +
+                                " is not in options.nodes");
+  }
+  SingleNode single{make_cluster(options), {}};
+  single.node = make_bundle(options, single.cluster, self);
+  return single;
+}
+
+std::shared_ptr<BlockSigner> make_verifier(const ServiceOptions& options) {
+  if (options.nodes.empty()) {
+    throw std::invalid_argument("make_verifier: need at least one node");
+  }
+  // Verification does not depend on which node's keypair the backend holds,
+  // so any member works; skip the corruption wrapper — it only affects
+  // signing.
+  const runtime::ProcessId node = options.nodes.front();
+  if (options.stub_signatures) {
+    return std::make_shared<StubBlockSigner>(node, options.signature_cost);
+  }
+  return std::make_shared<EcdsaBlockSigner>(node, options.signature_cost);
 }
 
 FrontendOptions make_frontend_options(const Service& service,
@@ -74,6 +107,14 @@ FrontendOptions make_frontend_options(const Service& service,
   fo.channel = options.channel;
   fo.weighted_quorum = options.replica_params.tentative_execution;
   fo.verifier = service.nodes.empty() ? nullptr : service.nodes.front().signer;
+  return fo;
+}
+
+FrontendOptions make_frontend_options(const ServiceOptions& options) {
+  FrontendOptions fo;
+  fo.channel = options.channel;
+  fo.weighted_quorum = options.replica_params.tentative_execution;
+  fo.verifier = make_verifier(options);
   return fo;
 }
 

@@ -61,8 +61,27 @@ struct Service {
 /// `cluster.members()[i]`.
 Service make_service(const ServiceOptions& options);
 
+/// One node of a multi-process deployment: only `self`'s bundle exists in
+/// this OS process, the other members are remote peers.
+struct SingleNode {
+  smr::ClusterConfig cluster;
+  NodeBundle node;
+};
+
+/// Builds `self`'s slice of the service described by `options` (self must be
+/// listed in options.nodes). Register `node.replica.get()` under `self`.
+SingleNode make_node(const ServiceOptions& options, runtime::ProcessId self);
+
+/// Standalone signature verifier equivalent to the nodes' signing backend —
+/// for frontends running in a different OS process than any node.
+std::shared_ptr<BlockSigner> make_verifier(const ServiceOptions& options);
+
 /// Frontend options consistent with a service (weighted quorum under WHEAT).
 FrontendOptions make_frontend_options(const Service& service,
                                       const ServiceOptions& options);
+
+/// Frontend options for a frontend with no in-process Service (multi-process
+/// deployments); builds its own verifier.
+FrontendOptions make_frontend_options(const ServiceOptions& options);
 
 }  // namespace bft::ordering

@@ -31,7 +31,7 @@ Frontend::Frontend(smr::ClusterConfig cluster, FrontendOptions options,
 void Frontend::on_start(runtime::Env& env) {
   Actor::on_start(env);
   if (!options_.receive_blocks) return;
-  const Bytes registration = smr::encode_register_receiver();
+  const Payload registration = Payload(smr::encode_register_receiver());
   for (runtime::ProcessId node : cluster_.members()) {
     env.send(node, registration);
   }
@@ -53,7 +53,7 @@ void Frontend::submit(Bytes envelope) {
   payload.channel = options_.channel;
   payload.envelope = std::move(envelope);
   request.payload = payload.encode();
-  const Bytes encoded = smr::encode_request(request);
+  const Payload encoded = Payload(smr::encode_request(request));
   for (runtime::ProcessId node : cluster_.members()) {
     env().send(node, encoded);
   }

@@ -282,7 +282,7 @@ void OrderingNode::send_cut_markers() {
     marker_seq_ = std::max(marker_seq_ + 1, now);
     request.seq = marker_seq_;
     request.payload = marker.encode();
-    const Bytes encoded = smr::encode_request(request);
+    const Payload encoded = Payload(smr::encode_request(request));
     if (m_.cut_markers != nullptr) m_.cut_markers->add();
     for (runtime::ProcessId member : replica_->config().members()) {
       replica_->runtime_env().send(member, encoded);

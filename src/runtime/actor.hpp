@@ -40,7 +40,12 @@ class Env {
 
   /// Asynchronous, unordered-across-peers, FIFO-per-pair message send.
   /// Delivery is best-effort: the runtime (or a fault plan) may drop it.
-  virtual void send(ProcessId to, Bytes payload) = 0;
+  ///
+  /// The payload is a shared immutable handle: fanning the same Payload out
+  /// to n-1 peers costs one allocation total, not one per destination.
+  /// `Bytes` converts implicitly, so `send(to, encode_x(...))` keeps working
+  /// by value as a convenience.
+  virtual void send(ProcessId to, Payload payload) = 0;
 
   /// One-shot timer; the returned id (never 0) is passed to on_timer.
   virtual std::uint64_t set_timer(Duration delay) = 0;

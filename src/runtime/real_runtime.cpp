@@ -7,6 +7,8 @@
 namespace bft::runtime {
 
 struct RealCluster::Process {
+  explicit Process(std::size_t inbox_capacity) : inbox(inbox_capacity) {}
+
   Actor* actor = nullptr;
   std::unique_ptr<ProcessEnv> env;
   BlockingQueue<std::function<void()>> inbox;
@@ -27,9 +29,9 @@ class RealCluster::ProcessEnv final : public Env {
   ProcessId self() const override { return id_; }
   TimePoint now() const override { return cluster_.now(); }
 
-  void send(ProcessId to, Bytes payload) override {
+  void send(ProcessId to, Payload payload) override {
     if (proc_.crashed.load(std::memory_order_relaxed)) return;
-    cluster_.send_external(id_, to, std::move(payload));
+    cluster_.route(id_, to, std::move(payload));
   }
 
   std::uint64_t set_timer(Duration delay) override {
@@ -77,7 +79,17 @@ class RealCluster::ProcessEnv final : public Env {
   Process& proc_;
 };
 
-RealCluster::RealCluster() : epoch_(std::chrono::steady_clock::now()) {}
+RealCluster::RealCluster() : RealCluster(RealClusterOptions{}) {}
+
+RealCluster::RealCluster(RealClusterOptions options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+  if (options_.metrics != nullptr) {
+    inbox_depth_gauge_ = &options_.metrics->gauge(
+        "runtime.inbox_depth", "depth of the most recently written inbox");
+    inbox_dropped_counter_ = &options_.metrics->counter(
+        "runtime.inbox_dropped", "messages shed by full bounded inboxes");
+  }
+}
 
 RealCluster::~RealCluster() { stop(); }
 
@@ -90,7 +102,7 @@ void RealCluster::add_process(ProcessId id, Actor* actor,
   if (processes_.count(id) > 0) {
     throw std::invalid_argument("add_process: duplicate process id");
   }
-  auto proc = std::make_unique<Process>();
+  auto proc = std::make_unique<Process>(options_.inbox_capacity);
   proc->actor = actor;
   proc->env = std::make_unique<ProcessEnv>(*this, id, *proc);
   proc->workers = std::make_unique<ThreadPool>(std::max<std::size_t>(1, worker_threads));
@@ -137,10 +149,30 @@ void RealCluster::stop() {
   }
 }
 
-void RealCluster::send_external(ProcessId from, ProcessId to, Bytes payload) {
-  enqueue(to, [this, from, to, payload = std::move(payload)]() mutable {
-    processes_.at(to)->actor->on_message(from, payload);
-  });
+void RealCluster::route(ProcessId from, ProcessId to, Payload payload) {
+  const auto it = processes_.find(to);
+  if (it != processes_.end()) {
+    deliver_local(from, to, std::move(payload));
+    return;
+  }
+  if (options_.transport != nullptr) {
+    options_.transport->send(from, to, std::move(payload));
+  }
+  // No local process and no transport: drop (unknown destination).
+}
+
+void RealCluster::send_external(ProcessId from, ProcessId to, Payload payload) {
+  route(from, to, std::move(payload));
+}
+
+void RealCluster::deliver_local(ProcessId from, ProcessId to, Payload payload) {
+  if (processes_.count(to) == 0) return;  // not hosted here: drop
+  enqueue(
+      to,
+      [this, from, to, payload = std::move(payload)]() {
+        processes_.at(to)->actor->on_message(from, payload.view());
+      },
+      /*droppable=*/true);
 }
 
 void RealCluster::post(ProcessId to, std::function<void()> fn) {
@@ -158,11 +190,32 @@ TimePoint RealCluster::now() const {
       .count();
 }
 
-void RealCluster::enqueue(ProcessId to, std::function<void()> fn) {
+std::uint64_t RealCluster::inbox_dropped() const {
+  return inbox_dropped_.load(std::memory_order_relaxed);
+}
+
+void RealCluster::enqueue(ProcessId to, std::function<void()> fn,
+                          bool droppable) {
   const auto it = processes_.find(to);
   if (it == processes_.end()) return;  // unknown destination: drop
-  if (it->second->crashed.load(std::memory_order_relaxed)) return;
-  it->second->inbox.push(std::move(fn));
+  Process& proc = *it->second;
+  if (proc.crashed.load(std::memory_order_relaxed)) return;
+  if (droppable) {
+    // Message deliveries are best-effort by contract: when the bounded inbox
+    // is full we shed instead of blocking one event loop on another.
+    if (!proc.inbox.try_push(std::move(fn))) {
+      inbox_dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (inbox_dropped_counter_ != nullptr) inbox_dropped_counter_->add();
+      return;
+    }
+  } else {
+    // Control work (timers, post, worker completions) must not be lost;
+    // these producers are few and the capacity is sized for message floods.
+    proc.inbox.push(std::move(fn));
+  }
+  if (inbox_depth_gauge_ != nullptr) {
+    inbox_depth_gauge_->set(static_cast<std::int64_t>(proc.inbox.size()));
+  }
 }
 
 void RealCluster::timer_loop() {

@@ -2,6 +2,12 @@
 // in-memory queue, a shared timer service and a private worker pool. Used by
 // integration tests and the runnable examples; semantics match the simulated
 // runtime so protocol code runs unchanged.
+//
+// The cluster optionally plugs into a Transport (transport.hpp): sends to
+// process ids it does not host are forwarded there, and frames the transport
+// delivers are enqueued like local traffic. One RealCluster per OS process
+// bridged by a TcpTransport is exactly the multi-process deployment shape —
+// see tcp_runtime.hpp.
 #pragma once
 
 #include <atomic>
@@ -14,15 +20,33 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/actor.hpp"
+#include "runtime/transport.hpp"
 #include "util/queue.hpp"
 #include "util/threadpool.hpp"
 
 namespace bft::runtime {
 
+struct RealClusterOptions {
+  /// Per-process inbox bound. Message deliveries beyond it are dropped (and
+  /// counted) — Env::send is best-effort, so overload sheds load instead of
+  /// deadlocking event loops that flood each other. Control work (timers,
+  /// post(), worker completions) is never dropped. 0 = unbounded.
+  std::size_t inbox_capacity = 65536;
+  /// Outbound sink for destinations this cluster does not host (borrowed;
+  /// must outlive the cluster). The caller starts/stops the transport and
+  /// routes its inbound frames to deliver_local().
+  Transport* transport = nullptr;
+  /// Optional observability registry (borrowed). Registers
+  /// runtime.inbox_depth / runtime.inbox_dropped; see OBSERVABILITY.md.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
 class RealCluster {
  public:
   RealCluster();
+  explicit RealCluster(RealClusterOptions options);
   ~RealCluster();
 
   RealCluster(const RealCluster&) = delete;
@@ -38,7 +62,17 @@ class RealCluster {
   void stop();
 
   /// Injects a message from outside any actor (test driver convenience).
-  void send_external(ProcessId from, ProcessId to, Bytes payload);
+  /// Routes like an actor send: local processes get it in-memory, anything
+  /// else goes to the attached transport.
+  void send_external(ProcessId from, ProcessId to, Payload payload);
+
+  /// Delivers an inbound frame to a locally hosted process; unknown
+  /// destinations are dropped. Thread-safe — this is the Transport's
+  /// DeliverFn target.
+  void deliver_local(ProcessId from, ProcessId to, Payload payload);
+
+  /// True when `id` is hosted by this cluster instance.
+  bool hosts(ProcessId id) const { return processes_.count(id) > 0; }
 
   /// Runs `fn` on the actor's own event-loop thread (e.g. to call methods on
   /// the actor without racing its handlers).
@@ -49,11 +83,18 @@ class RealCluster {
 
   TimePoint now() const;
 
+  /// Messages dropped because a bounded inbox was full (0 until start).
+  std::uint64_t inbox_dropped() const;
+
  private:
   struct Process;
   class ProcessEnv;
 
-  void enqueue(ProcessId to, std::function<void()> fn);
+  /// Resolves a send: local inbox, else transport, else drop.
+  void route(ProcessId from, ProcessId to, Payload payload);
+  /// Queues `fn` on `to`'s event loop. `droppable` marks best-effort message
+  /// deliveries, shed when the bounded inbox is full; control work blocks.
+  void enqueue(ProcessId to, std::function<void()> fn, bool droppable = false);
   void timer_loop();
 
   struct TimerEntry {
@@ -67,10 +108,15 @@ class RealCluster {
     }
   };
 
+  RealClusterOptions options_;
   std::chrono::steady_clock::time_point epoch_;
   std::map<ProcessId, std::unique_ptr<Process>> processes_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
+
+  std::atomic<std::uint64_t> inbox_dropped_{0};
+  obs::Gauge* inbox_depth_gauge_ = nullptr;    // deepest local inbox
+  obs::Counter* inbox_dropped_counter_ = nullptr;
 
   std::mutex timer_mutex_;
   std::condition_variable timer_cv_;

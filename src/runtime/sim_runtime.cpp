@@ -18,10 +18,10 @@ class SimCluster::ProcessEnv final : public Env {
     return std::max(logical_now_, cluster_.scheduler_.now());
   }
 
-  void send(ProcessId to, Bytes payload) override {
+  void send(ProcessId to, Payload payload) override {
     if (cluster_.crashed_.count(id_)) return;
     FilterVerdict verdict;
-    if (cluster_.filter_) verdict = cluster_.filter_(id_, to, payload);
+    if (cluster_.filter_) verdict = cluster_.filter_(id_, to, payload.view());
     if (verdict.action == FilterAction::deliver && cluster_.fault_model_) {
       const sim::LinkVerdict lv = cluster_.fault_model_->decide(id_, to, now());
       if (lv.action.has_value()) {
@@ -55,7 +55,7 @@ class SimCluster::ProcessEnv final : public Env {
             });
         return;
       case FilterAction::duplicate: {
-        Bytes copy = payload;
+        Payload copy = payload;  // refcount bump, no deep copy
         cluster_.scheduler_.schedule_at(
             now() + std::max<Duration>(verdict.delay, 1),
             [this, to, copy = std::move(copy)]() mutable {
@@ -66,9 +66,13 @@ class SimCluster::ProcessEnv final : public Env {
       }
       case FilterAction::corrupt:
         if (!payload.empty()) {
-          const std::size_t pos = cluster_.fault_rng_.uniform(payload.size());
-          payload[pos] ^=
+          // The only path that mutates bytes: corrupt a private copy so other
+          // holders of the shared buffer stay untouched.
+          Bytes mutated = payload.to_bytes();
+          const std::size_t pos = cluster_.fault_rng_.uniform(mutated.size());
+          mutated[pos] ^=
               static_cast<std::uint8_t>(1 + cluster_.fault_rng_.uniform(255));
+          payload = Payload(std::move(mutated));
         }
         transmit(to, std::move(payload), now());
         return;
@@ -132,7 +136,7 @@ class SimCluster::ProcessEnv final : public Env {
  private:
   /// Hands one message (possibly a delayed or duplicated copy) to the network
   /// model starting at `start`.
-  void transmit(ProcessId to, Bytes payload, sim::SimTime start) {
+  void transmit(ProcessId to, Payload payload, sim::SimTime start) {
     // Two-phase transfer: egress + propagation now (send order), ingress
     // admission as a scheduled event so the receiving NIC serves messages in
     // arrival order regardless of sender distance.
@@ -245,7 +249,7 @@ double SimCluster::protocol_utilization(ProcessId id) const {
   return it->second.cpu->protocol_utilization();
 }
 
-void SimCluster::deliver_message(ProcessId from, ProcessId to, Bytes payload,
+void SimCluster::deliver_message(ProcessId from, ProcessId to, Payload payload,
                                  sim::SimTime arrival) {
   if (processes_.count(to) == 0) return;  // unknown destination: drop
   scheduler_.schedule_at(
@@ -254,7 +258,7 @@ void SimCluster::deliver_message(ProcessId from, ProcessId to, Bytes payload,
         if (messages_delivered_ != nullptr) messages_delivered_->add();
         Process& proc = process(to);
         proc.env->activate(scheduler_.now());
-        proc.actor->on_message(from, payload);
+        proc.actor->on_message(from, payload.view());
       });
 }
 

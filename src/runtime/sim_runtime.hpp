@@ -125,7 +125,7 @@ class SimCluster {
     std::uint64_t incarnation = 0;
   };
 
-  void deliver_message(ProcessId from, ProcessId to, Bytes payload,
+  void deliver_message(ProcessId from, ProcessId to, Payload payload,
                        sim::SimTime arrival);
   Process& process(ProcessId id);
 

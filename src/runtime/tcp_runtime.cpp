@@ -1,0 +1,73 @@
+#include "runtime/tcp_runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bft::runtime {
+
+namespace {
+
+TcpTransportOptions with_metrics(TcpTransportOptions options,
+                                 obs::MetricsRegistry* metrics) {
+  options.metrics = metrics;
+  return options;
+}
+
+RealClusterOptions cluster_options(std::size_t inbox_capacity,
+                                   Transport* transport,
+                                   obs::MetricsRegistry* metrics) {
+  RealClusterOptions options;
+  options.inbox_capacity = inbox_capacity;
+  options.transport = transport;
+  options.metrics = metrics;
+  return options;
+}
+
+}  // namespace
+
+TcpCluster::TcpCluster(Topology topology, std::vector<ProcessId> local_ids,
+                       TcpClusterOptions options)
+    : local_ids_(local_ids),
+      transport_(std::move(topology), std::move(local_ids),
+                 with_metrics(options.transport, options.metrics)),
+      local_(cluster_options(options.inbox_capacity, &transport_,
+                             options.metrics)) {}
+
+TcpCluster::~TcpCluster() { stop(); }
+
+void TcpCluster::add_process(ProcessId id, Actor* actor,
+                             std::size_t worker_threads) {
+  if (std::find(local_ids_.begin(), local_ids_.end(), id) == local_ids_.end()) {
+    throw std::invalid_argument("TcpCluster: process id " + std::to_string(id) +
+                                " is not hosted at this address");
+  }
+  local_.add_process(id, actor, worker_threads);
+}
+
+void TcpCluster::start() {
+  if (started_) return;
+  started_ = true;
+  // Transport first: on_start handlers may send to remote peers immediately.
+  transport_.start([this](ProcessId from, ProcessId to, Payload frame) {
+    local_.deliver_local(from, to, std::move(frame));
+  });
+  local_.start();
+}
+
+void TcpCluster::stop() {
+  if (!started_) return;
+  started_ = false;
+  // Reverse order: quiesce the network before tearing down the event loops.
+  transport_.stop();
+  local_.stop();
+}
+
+void TcpCluster::send_external(ProcessId from, ProcessId to, Payload payload) {
+  local_.send_external(from, to, std::move(payload));
+}
+
+void TcpCluster::post(ProcessId to, std::function<void()> fn) {
+  local_.post(to, std::move(fn));
+}
+
+}  // namespace bft::runtime

@@ -1,0 +1,126 @@
+#include "runtime/topology.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace bft::runtime {
+
+namespace {
+
+/// Splits "host:port"; throws on a missing/invalid port.
+std::pair<std::string, std::uint16_t> split_address(const std::string& addr,
+                                                    std::size_t line_no) {
+  const auto colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == addr.size()) {
+    throw std::invalid_argument("topology line " + std::to_string(line_no) +
+                                ": expected host:port, got '" + addr + "'");
+  }
+  const std::string host = addr.substr(0, colon);
+  const std::string port_text = addr.substr(colon + 1);
+  unsigned long port = 0;
+  try {
+    std::size_t used = 0;
+    port = std::stoul(port_text, &used);
+    if (used != port_text.size()) throw std::invalid_argument("trailing");
+  } catch (const std::exception&) {
+    throw std::invalid_argument("topology line " + std::to_string(line_no) +
+                                ": bad port '" + port_text + "'");
+  }
+  if (port > 65535) {
+    throw std::invalid_argument("topology line " + std::to_string(line_no) +
+                                ": port out of range");
+  }
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+}  // namespace
+
+Topology::Topology(std::vector<TopologyEntry> entries)
+    : entries_(std::move(entries)) {
+  std::set<ProcessId> seen;
+  for (const TopologyEntry& e : entries_) {
+    if (!seen.insert(e.id).second) {
+      throw std::invalid_argument("topology: duplicate process id " +
+                                  std::to_string(e.id));
+    }
+  }
+}
+
+Topology Topology::parse(std::string_view text) {
+  std::vector<TopologyEntry> entries;
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string role;
+    if (!(fields >> role)) continue;  // blank / comment-only line
+    long long id = -1;
+    std::string addr;
+    if (!(fields >> id >> addr) || id < 0 ||
+        id > static_cast<long long>(UINT32_MAX)) {
+      throw std::invalid_argument("topology line " + std::to_string(line_no) +
+                                  ": expected '<role> <id> <host:port>'");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      throw std::invalid_argument("topology line " + std::to_string(line_no) +
+                                  ": trailing field '" + extra + "'");
+    }
+    TopologyEntry entry;
+    entry.role = std::move(role);
+    entry.id = static_cast<ProcessId>(id);
+    std::tie(entry.host, entry.port) = split_address(addr, line_no);
+    entries.push_back(std::move(entry));
+  }
+  return Topology(std::move(entries));
+}
+
+Topology Topology::load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("topology: cannot read '" + path + "'");
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  return parse(content.str());
+}
+
+const TopologyEntry* Topology::find(ProcessId id) const {
+  for (const TopologyEntry& e : entries_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+const TopologyEntry& Topology::at(ProcessId id) const {
+  const TopologyEntry* entry = find(id);
+  if (entry == nullptr) {
+    throw std::invalid_argument("topology: unknown process id " +
+                                std::to_string(id));
+  }
+  return *entry;
+}
+
+std::vector<ProcessId> Topology::ids_with_role(std::string_view role) const {
+  std::vector<ProcessId> ids;
+  for (const TopologyEntry& e : entries_) {
+    if (e.role == role) ids.push_back(e.id);
+  }
+  return ids;
+}
+
+std::vector<ProcessId> Topology::ids_at(const std::string& address) const {
+  std::vector<ProcessId> ids;
+  for (const TopologyEntry& e : entries_) {
+    if (e.address() == address) ids.push_back(e.id);
+  }
+  return ids;
+}
+
+}  // namespace bft::runtime

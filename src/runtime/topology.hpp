@@ -1,0 +1,67 @@
+// Cluster topology for multi-process deployments: maps every process id to a
+// role and a TCP listen address. All binaries of one deployment load the same
+// config file, pick out their own id(s), and derive the peer address book
+// from the rest.
+//
+// File format — one entry per line, '#' starts a comment:
+//
+//   # role  id  host:port
+//   node     0  127.0.0.1:5000
+//   node     1  127.0.0.1:5001
+//   node     2  127.0.0.1:5002
+//   node     3  127.0.0.1:5003
+//   frontend 100 127.0.0.1:5100
+//
+// Roles are free-form strings; the deployment binaries use "node",
+// "frontend" and "client". Several ids may share one host:port — they are
+// then hosted by the same OS process (one TcpTransport instance).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/actor.hpp"
+
+namespace bft::runtime {
+
+struct TopologyEntry {
+  std::string role;
+  ProcessId id = 0;
+  std::string host;
+  std::uint16_t port = 0;
+
+  std::string address() const { return host + ":" + std::to_string(port); }
+};
+
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::vector<TopologyEntry> entries);
+
+  /// Parses config text; throws std::invalid_argument on malformed lines or
+  /// duplicate ids.
+  static Topology parse(std::string_view text);
+  /// Loads and parses a config file; throws std::runtime_error when the file
+  /// cannot be read.
+  static Topology load(const std::string& path);
+
+  const std::vector<TopologyEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+  /// nullptr when `id` is not in the topology.
+  const TopologyEntry* find(ProcessId id) const;
+  /// Throws std::invalid_argument when `id` is not in the topology.
+  const TopologyEntry& at(ProcessId id) const;
+
+  /// All ids carrying `role`, in file order.
+  std::vector<ProcessId> ids_with_role(std::string_view role) const;
+  /// All ids hosted at `address` ("host:port"), in file order.
+  std::vector<ProcessId> ids_at(const std::string& address) const;
+
+ private:
+  std::vector<TopologyEntry> entries_;
+};
+
+}  // namespace bft::runtime

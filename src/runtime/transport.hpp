@@ -1,0 +1,45 @@
+// Transport seam: the pluggable substrate that carries frames between
+// processes that do NOT share a runtime instance.
+//
+// The protocol core never sees this interface — actors keep talking through
+// `Env::send`. A runtime (RealCluster, TcpCluster) resolves each send:
+// destinations it hosts are delivered through in-memory inboxes, everything
+// else is handed to the attached Transport. Inbound frames flow back through
+// the DeliverFn the runtime passed to start(). BFT-SMaRt-style deployments
+// treat the communication layer as replaceable under an unchanged protocol
+// core; this seam is how the repo earns the same property.
+//
+// Contract (mirrors Env::send):
+//   * best-effort: a transport may drop frames (backpressure, dead peer);
+//   * FIFO per (from, to) pair while a connection lasts; no ordering across
+//     reconnects or across pairs;
+//   * `send` must never block the caller (runtimes call it from event loops);
+//   * `deliver` may be invoked from arbitrary transport threads — the
+//     runtime's delivery path must be thread-safe.
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "runtime/actor.hpp"
+
+namespace bft::runtime {
+
+class Transport {
+ public:
+  using DeliverFn =
+      std::function<void(ProcessId from, ProcessId to, Payload frame)>;
+
+  virtual ~Transport() = default;
+
+  /// Begins accepting/producing frames; inbound frames invoke `deliver`.
+  virtual void start(DeliverFn deliver) = 0;
+  /// Stops all transport activity and joins internal threads; idempotent.
+  virtual void stop() = 0;
+  /// Queues one frame for `to`. Returns false when the frame was dropped
+  /// immediately (unknown destination or full send queue). A true return
+  /// still only means "queued": delivery stays best-effort.
+  virtual bool send(ProcessId from, ProcessId to, Payload frame) = 0;
+};
+
+}  // namespace bft::runtime

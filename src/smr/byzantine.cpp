@@ -13,10 +13,10 @@ class ByzantineReplica::TamperEnv final : public runtime::Env {
   runtime::ProcessId self() const override { return outer_->self(); }
   runtime::TimePoint now() const override { return outer_->now(); }
 
-  void send(runtime::ProcessId to, Bytes payload) override {
+  void send(runtime::ProcessId to, Payload payload) override {
     try {
-      if (peek_kind(payload) == MsgKind::propose) {
-        Propose proposal = decode_propose(payload);
+      if (peek_kind(payload.view()) == MsgKind::propose) {
+        Propose proposal = decode_propose(payload.view());
         if (proposal.epoch == 0) {
           if (owner_.behavior_ == ByzantineBehavior::mute_leader) {
             ++owner_.tampered_;

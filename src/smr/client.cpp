@@ -17,8 +17,9 @@ consensus::Weight Client::reply_threshold() const {
 }
 
 void Client::send_to_all(const Bytes& encoded) {
+  const Payload shared = Payload(encoded);  // one allocation for the fan-out
   for (runtime::ProcessId member : config_.members()) {
-    env().send(member, encoded);
+    env().send(member, shared);
   }
 }
 

@@ -539,7 +539,9 @@ void Replica::on_decided(ConsensusId cid) {
   maybe_propose();
 }
 
-void Replica::broadcast(const Bytes& payload) {
+void Replica::broadcast(Payload payload) {
+  // One encode, one allocation: every peer receives a refcounted handle to
+  // the same buffer (the Bytes argument converted to Payload exactly once).
   for (ProcessId member : config_.members()) {
     if (member != self_) env().send(member, payload);
   }
@@ -1287,7 +1289,7 @@ void Replica::adopt_state(ConsensusId snapshot_cid, const Bytes& snapshot,
 // --------------------------------------------------------------------------
 
 void Replica::push_to_receivers(ByteView payload) {
-  const Bytes encoded = encode_push(payload);
+  const Payload encoded = Payload(encode_push(payload));
   if (m_.pushes_sent != nullptr) {
     m_.pushes_sent->add(receivers_.size());
   }

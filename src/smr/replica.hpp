@@ -140,7 +140,9 @@ class Replica : public runtime::Actor {
   void on_write_quorum(ConsensusId cid, consensus::Epoch epoch);
   void on_decided(ConsensusId cid);
   void maybe_propose();
-  void broadcast(const Bytes& payload);
+  /// Fans `payload` out to every other member, sharing one underlying buffer
+  /// across all sends (no per-destination deep copy).
+  void broadcast(Payload payload);
   void request_value(ConsensusId cid, const ValueHash& hash);
 
   // -- execution pipeline --

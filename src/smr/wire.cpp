@@ -4,11 +4,6 @@ namespace bft::smr {
 
 namespace {
 
-void expect_kind(Reader& r, MsgKind kind) {
-  const auto got = static_cast<MsgKind>(r.u8());
-  if (got != kind) throw DecodeError("unexpected message kind");
-}
-
 void put_hash(Writer& w, const ValueHash& h) {
   w.raw(ByteView(h.data(), h.size()));
 }
@@ -44,11 +39,79 @@ WriteCertificate get_cert(Reader& r) {
   return cert;
 }
 
+void put_request_body(Writer& w, const Request& req) {
+  w.u32(req.client);
+  w.u64(req.seq);
+  w.u8(static_cast<std::uint8_t>(req.kind));
+  w.bytes(req.payload);
+}
+
+Request get_request_body(Reader& r) {
+  Request req;
+  req.client = r.u32();
+  req.seq = r.u64();
+  const std::uint8_t kind = r.u8();
+  if (kind > 1) throw DecodeError("bad request kind");
+  req.kind = static_cast<RequestKind>(kind);
+  req.payload = r.bytes();
+  return req;
+}
+
+/// StopData fields covered by the STOPDATA signature (everything but the
+/// signature itself); shared by the codec body and stopdata_digest.
+void put_stopdata_core(Writer& w, const StopData& s) {
+  w.u32(s.next_epoch);
+  w.u32(s.from);
+  w.u64(s.last_decided);
+  w.u64(s.cid);
+  w.boolean(s.cert.has_value());
+  if (s.cert) put_cert(w, *s.cert);
+  w.bytes(s.value);
+}
+
+/// StateReply fields covered by the f+1-matching digest. The epoch is
+/// deliberately excluded: replicas at different regencies still agree on the
+/// decided prefix.
+void put_state_reply_core(Writer& w, const StateReply& s) {
+  w.u64(s.snapshot_cid);
+  w.bytes(s.snapshot);
+  w.u32(static_cast<std::uint32_t>(s.log.size()));
+  for (const LogEntry& e : s.log) {
+    w.u64(e.cid);
+    w.bytes(e.value);
+  }
+}
+
 }  // namespace
 
 MsgKind peek_kind(ByteView data) {
   if (data.empty()) throw DecodeError("empty message");
   return static_cast<MsgKind>(data[0]);
+}
+
+const char* kind_name(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::request: return "request";
+    case MsgKind::forward: return "forward";
+    case MsgKind::propose: return "propose";
+    case MsgKind::write: return "write";
+    case MsgKind::accept: return "accept";
+    case MsgKind::stop: return "stop";
+    case MsgKind::stopdata: return "stopdata";
+    case MsgKind::sync: return "sync";
+    case MsgKind::reply: return "reply";
+    case MsgKind::state_request: return "state_request";
+    case MsgKind::state_reply: return "state_reply";
+    case MsgKind::value_request: return "value_request";
+    case MsgKind::value_reply: return "value_reply";
+    case MsgKind::register_receiver: return "register_receiver";
+    case MsgKind::push: return "push";
+  }
+  return "unknown";
+}
+
+bool kind_known(MsgKind kind) {
+  return kind >= MsgKind::request && kind <= MsgKind::push;
 }
 
 bool Request::operator==(const Request& other) const {
@@ -87,202 +150,94 @@ Batch Batch::decode(ByteView data) {
   return batch;
 }
 
-namespace {
+// --- codec bodies ---
 
-Bytes encode_request_like(MsgKind kind, const Request& req) {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(kind));
-  w.u32(req.client);
-  w.u64(req.seq);
-  w.u8(static_cast<std::uint8_t>(req.kind));
-  w.bytes(req.payload);
-  return std::move(w).take();
+void Codec<Request>::write_body(Writer& w, const Request& v) {
+  put_request_body(w, v);
 }
+Request Codec<Request>::read_body(Reader& r) { return get_request_body(r); }
 
-Request decode_request_like(MsgKind kind, ByteView data) {
-  Reader r(data);
-  expect_kind(r, kind);
-  Request req;
-  req.client = r.u32();
-  req.seq = r.u64();
-  const std::uint8_t k = r.u8();
-  if (k > 1) throw DecodeError("bad request kind");
-  req.kind = static_cast<RequestKind>(k);
-  req.payload = r.bytes();
-  r.expect_done();
-  return req;
+void Codec<Forward>::write_body(Writer& w, const Forward& v) {
+  put_request_body(w, v.request);
+  w.bytes(v.signature);
 }
-
-}  // namespace
-
-Bytes encode_request(const Request& req) {
-  return encode_request_like(MsgKind::request, req);
-}
-Request decode_request(ByteView data) {
-  return decode_request_like(MsgKind::request, data);
-}
-
-Bytes encode_forward(const Forward& f) {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgKind::forward));
-  w.u32(f.request.client);
-  w.u64(f.request.seq);
-  w.u8(static_cast<std::uint8_t>(f.request.kind));
-  w.bytes(f.request.payload);
-  w.bytes(f.signature);
-  return std::move(w).take();
-}
-
-Forward decode_forward(ByteView data) {
-  Reader r(data);
-  expect_kind(r, MsgKind::forward);
+Forward Codec<Forward>::read_body(Reader& r) {
   Forward f;
-  f.request.client = r.u32();
-  f.request.seq = r.u64();
-  const std::uint8_t k = r.u8();
-  if (k > 1) throw DecodeError("bad request kind");
-  f.request.kind = static_cast<RequestKind>(k);
-  f.request.payload = r.bytes();
+  f.request = get_request_body(r);
   f.signature = r.bytes();
-  r.expect_done();
   return f;
 }
 
-crypto::Hash256 forward_digest(const Request& r) {
-  Writer w;
-  w.str("bft.forward");
-  w.u32(r.client);
-  w.u64(r.seq);
-  w.u8(static_cast<std::uint8_t>(r.kind));
-  w.bytes(r.payload);
-  return crypto::sha256(w.data());
+void Codec<Reply>::write_body(Writer& w, const Reply& v) {
+  w.u64(v.client_seq);
+  w.u64(v.cid);
+  w.bytes(v.payload);
 }
-
-Bytes encode_reply(const Reply& reply) {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgKind::reply));
-  w.u64(reply.client_seq);
-  w.u64(reply.cid);
-  w.bytes(reply.payload);
-  return std::move(w).take();
-}
-
-Reply decode_reply(ByteView data) {
-  Reader r(data);
-  expect_kind(r, MsgKind::reply);
+Reply Codec<Reply>::read_body(Reader& r) {
   Reply reply;
   reply.client_seq = r.u64();
   reply.cid = r.u64();
   reply.payload = r.bytes();
-  r.expect_done();
   return reply;
 }
 
-Bytes encode_propose(const Propose& p) {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgKind::propose));
-  w.u64(p.cid);
-  w.u32(p.epoch);
-  w.bytes(p.value);
-  return std::move(w).take();
+void Codec<Propose>::write_body(Writer& w, const Propose& v) {
+  w.u64(v.cid);
+  w.u32(v.epoch);
+  w.bytes(v.value);
 }
-
-Propose decode_propose(ByteView data) {
-  Reader r(data);
-  expect_kind(r, MsgKind::propose);
+Propose Codec<Propose>::read_body(Reader& r) {
   Propose p;
   p.cid = r.u64();
   p.epoch = r.u32();
   p.value = r.bytes();
-  r.expect_done();
   return p;
 }
 
-Bytes encode_write(const WriteMsg& msg) {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgKind::write));
-  w.u64(msg.cid);
-  w.u32(msg.epoch);
-  put_hash(w, msg.hash);
-  w.bytes(msg.signature);
-  return std::move(w).take();
+void Codec<WriteMsg>::write_body(Writer& w, const WriteMsg& v) {
+  w.u64(v.cid);
+  w.u32(v.epoch);
+  put_hash(w, v.hash);
+  w.bytes(v.signature);
 }
-
-WriteMsg decode_write(ByteView data) {
-  Reader r(data);
-  expect_kind(r, MsgKind::write);
+WriteMsg Codec<WriteMsg>::read_body(Reader& r) {
   WriteMsg msg;
   msg.cid = r.u64();
   msg.epoch = r.u32();
   msg.hash = get_hash(r);
   msg.signature = r.bytes();
-  r.expect_done();
   return msg;
 }
 
-Bytes encode_accept(const AcceptMsg& msg) {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgKind::accept));
-  w.u64(msg.cid);
-  w.u32(msg.epoch);
-  put_hash(w, msg.hash);
-  return std::move(w).take();
+void Codec<AcceptMsg>::write_body(Writer& w, const AcceptMsg& v) {
+  w.u64(v.cid);
+  w.u32(v.epoch);
+  put_hash(w, v.hash);
 }
-
-AcceptMsg decode_accept(ByteView data) {
-  Reader r(data);
-  expect_kind(r, MsgKind::accept);
+AcceptMsg Codec<AcceptMsg>::read_body(Reader& r) {
   AcceptMsg msg;
   msg.cid = r.u64();
   msg.epoch = r.u32();
   msg.hash = get_hash(r);
-  r.expect_done();
   return msg;
 }
 
-Bytes encode_stop(const Stop& s) {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgKind::stop));
-  w.u32(s.next_epoch);
-  w.u64(s.last_decided);
-  return std::move(w).take();
+void Codec<Stop>::write_body(Writer& w, const Stop& v) {
+  w.u32(v.next_epoch);
+  w.u64(v.last_decided);
 }
-
-Stop decode_stop(ByteView data) {
-  Reader r(data);
-  expect_kind(r, MsgKind::stop);
+Stop Codec<Stop>::read_body(Reader& r) {
   Stop s;
   s.next_epoch = r.u32();
   s.last_decided = r.u64();
-  r.expect_done();
   return s;
 }
 
-namespace {
-
-void write_stopdata_body(Writer& w, const StopData& s) {
-  w.u32(s.next_epoch);
-  w.u32(s.from);
-  w.u64(s.last_decided);
-  w.u64(s.cid);
-  w.boolean(s.cert.has_value());
-  if (s.cert) put_cert(w, *s.cert);
-  w.bytes(s.value);
+void Codec<StopData>::write_body(Writer& w, const StopData& v) {
+  put_stopdata_core(w, v);
+  w.bytes(v.signature);
 }
-
-}  // namespace
-
-Bytes encode_stopdata(const StopData& s) {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgKind::stopdata));
-  write_stopdata_body(w, s);
-  w.bytes(s.signature);
-  return std::move(w).take();
-}
-
-StopData decode_stopdata(ByteView data) {
-  Reader r(data);
-  expect_kind(r, MsgKind::stopdata);
+StopData Codec<StopData>::read_body(Reader& r) {
   StopData s;
   s.next_epoch = r.u32();
   s.from = r.u32();
@@ -291,31 +246,17 @@ StopData decode_stopdata(ByteView data) {
   if (r.boolean()) s.cert = get_cert(r);
   s.value = r.bytes();
   s.signature = r.bytes();
-  r.expect_done();
   return s;
 }
 
-crypto::Hash256 stopdata_digest(const StopData& s) {
-  Writer w;
-  w.str("bft.stopdata");
-  write_stopdata_body(w, s);
-  return crypto::sha256(w.data());
+void Codec<Sync>::write_body(Writer& w, const Sync& v) {
+  w.u32(v.new_epoch);
+  w.u64(v.cid);
+  w.u32(static_cast<std::uint32_t>(v.stopdata_blobs.size()));
+  for (const Bytes& blob : v.stopdata_blobs) w.bytes(blob);
+  w.bytes(v.proposed_value);
 }
-
-Bytes encode_sync(const Sync& s) {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgKind::sync));
-  w.u32(s.new_epoch);
-  w.u64(s.cid);
-  w.u32(static_cast<std::uint32_t>(s.stopdata_blobs.size()));
-  for (const Bytes& blob : s.stopdata_blobs) w.bytes(blob);
-  w.bytes(s.proposed_value);
-  return std::move(w).take();
-}
-
-Sync decode_sync(ByteView data) {
-  Reader r(data);
-  expect_kind(r, MsgKind::sync);
+Sync Codec<Sync>::read_body(Reader& r) {
   Sync s;
   s.new_epoch = r.u32();
   s.cid = r.u64();
@@ -323,51 +264,23 @@ Sync decode_sync(ByteView data) {
   s.stopdata_blobs.reserve(r.safe_reserve(blobs));
   for (std::uint32_t i = 0; i < blobs; ++i) s.stopdata_blobs.push_back(r.bytes());
   s.proposed_value = r.bytes();
-  r.expect_done();
   return s;
 }
 
-Bytes encode_state_request(const StateRequest& s) {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgKind::state_request));
-  w.u64(s.last_decided);
-  return std::move(w).take();
+void Codec<StateRequest>::write_body(Writer& w, const StateRequest& v) {
+  w.u64(v.last_decided);
 }
-
-StateRequest decode_state_request(ByteView data) {
-  Reader r(data);
-  expect_kind(r, MsgKind::state_request);
+StateRequest Codec<StateRequest>::read_body(Reader& r) {
   StateRequest s;
   s.last_decided = r.u64();
-  r.expect_done();
   return s;
 }
 
-namespace {
-
-void write_state_reply_body(Writer& w, const StateReply& s) {
-  w.u64(s.snapshot_cid);
-  w.bytes(s.snapshot);
-  w.u32(static_cast<std::uint32_t>(s.log.size()));
-  for (const LogEntry& e : s.log) {
-    w.u64(e.cid);
-    w.bytes(e.value);
-  }
+void Codec<StateReply>::write_body(Writer& w, const StateReply& v) {
+  put_state_reply_core(w, v);
+  w.u32(v.epoch);
 }
-
-}  // namespace
-
-Bytes encode_state_reply(const StateReply& s) {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgKind::state_reply));
-  write_state_reply_body(w, s);
-  w.u32(s.epoch);
-  return std::move(w).take();
-}
-
-StateReply decode_state_reply(ByteView data) {
-  Reader r(data);
-  expect_kind(r, MsgKind::state_reply);
+StateReply Codec<StateReply>::read_body(Reader& r) {
   StateReply s;
   s.snapshot_cid = r.u64();
   s.snapshot = r.bytes();
@@ -380,74 +293,65 @@ StateReply decode_state_reply(ByteView data) {
     s.log.push_back(std::move(e));
   }
   s.epoch = r.u32();
-  r.expect_done();
   return s;
 }
 
-crypto::Hash256 state_reply_digest(const StateReply& s) {
-  // The epoch is deliberately excluded: replicas at different regencies still
-  // agree on the decided prefix.
-  Writer w;
-  w.str("bft.state");
-  write_state_reply_body(w, s);
-  return crypto::sha256(w.data());
-}
-
-Bytes encode_value_request(const ValueRequest& v) {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgKind::value_request));
+void Codec<ValueRequest>::write_body(Writer& w, const ValueRequest& v) {
   w.u64(v.cid);
   put_hash(w, v.hash);
-  return std::move(w).take();
 }
-
-ValueRequest decode_value_request(ByteView data) {
-  Reader r(data);
-  expect_kind(r, MsgKind::value_request);
+ValueRequest Codec<ValueRequest>::read_body(Reader& r) {
   ValueRequest v;
   v.cid = r.u64();
   v.hash = get_hash(r);
-  r.expect_done();
   return v;
 }
 
-Bytes encode_value_reply(const ValueReply& v) {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgKind::value_reply));
+void Codec<ValueReply>::write_body(Writer& w, const ValueReply& v) {
   w.u64(v.cid);
   w.bytes(v.value);
-  return std::move(w).take();
 }
-
-ValueReply decode_value_reply(ByteView data) {
-  Reader r(data);
-  expect_kind(r, MsgKind::value_reply);
+ValueReply Codec<ValueReply>::read_body(Reader& r) {
   ValueReply v;
   v.cid = r.u64();
   v.value = r.bytes();
-  r.expect_done();
   return v;
 }
 
-Bytes encode_register_receiver() {
+void Codec<RegisterReceiver>::write_body(Writer&, const RegisterReceiver&) {}
+RegisterReceiver Codec<RegisterReceiver>::read_body(Reader&) { return {}; }
+
+void Codec<Push>::write_body(Writer& w, const Push& v) { w.bytes(v.payload); }
+Push Codec<Push>::read_body(Reader& r) {
+  Push p;
+  p.payload = r.bytes();
+  return p;
+}
+
+// --- signature digests ---
+
+crypto::Hash256 forward_digest(const Request& r) {
   Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgKind::register_receiver));
-  return std::move(w).take();
+  w.str("bft.forward");
+  w.u32(r.client);
+  w.u64(r.seq);
+  w.u8(static_cast<std::uint8_t>(r.kind));
+  w.bytes(r.payload);
+  return crypto::sha256(w.data());
 }
 
-Bytes encode_push(ByteView payload) {
-  Writer w(payload.size() + 8);
-  w.u8(static_cast<std::uint8_t>(MsgKind::push));
-  w.bytes(payload);
-  return std::move(w).take();
+crypto::Hash256 stopdata_digest(const StopData& s) {
+  Writer w;
+  w.str("bft.stopdata");
+  put_stopdata_core(w, s);
+  return crypto::sha256(w.data());
 }
 
-Bytes decode_push(ByteView data) {
-  Reader r(data);
-  expect_kind(r, MsgKind::push);
-  Bytes payload = r.bytes();
-  r.expect_done();
-  return payload;
+crypto::Hash256 state_reply_digest(const StateReply& s) {
+  Writer w;
+  w.str("bft.state");
+  put_state_reply_core(w, s);
+  return crypto::sha256(w.data());
 }
 
 }  // namespace bft::smr

@@ -40,6 +40,49 @@ enum class MsgKind : std::uint8_t {
 /// Reads the kind byte without consuming the message.
 MsgKind peek_kind(ByteView data);
 
+/// Human-readable name of a message kind ("propose", "write", ...); returns
+/// "unknown" for unregistered tags. Used by tracing, transport logging and
+/// drop diagnostics.
+const char* kind_name(MsgKind kind);
+
+/// True when `kind` is a registered wire tag.
+bool kind_known(MsgKind kind);
+
+// --- tagged message codec ---
+//
+// Every wire message type T declares exactly one thing: its kind tag and how
+// its body (de)serializes, via the Codec<T> specialization. The generic
+// encode<T>/decode<T> below own the framing conventions — leading kind byte,
+// full-consumption check, DecodeError on mismatch — so adding a message type
+// is one specialization, not another hand-rolled encode_*/decode_* pair with
+// its own copy of the kind handling. The named free functions further down
+// are thin convenience wrappers over this machinery.
+
+template <typename T>
+struct Codec;  // specialized for every wire message type
+
+/// Encodes `msg` with its leading kind byte.
+template <typename T>
+Bytes encode(const T& msg) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Codec<T>::kKind));
+  Codec<T>::write_body(w, msg);
+  return std::move(w).take();
+}
+
+/// Decodes a full message of type T; throws DecodeError on a wrong kind tag,
+/// malformed body or trailing garbage.
+template <typename T>
+T decode(ByteView data) {
+  Reader r(data);
+  if (static_cast<MsgKind>(r.u8()) != Codec<T>::kKind) {
+    throw DecodeError("unexpected message kind");
+  }
+  T msg = Codec<T>::read_body(r);
+  r.expect_done();
+  return msg;
+}
+
 /// Request kinds: ordinary application payloads vs. membership changes
 /// executed by the SMR core itself (§5.2 reconfiguration).
 enum class RequestKind : std::uint8_t { application = 0, reconfig = 1 };
@@ -63,9 +106,6 @@ struct Batch {
 
 // --- client traffic ---
 
-Bytes encode_request(const Request& r);
-Request decode_request(ByteView data);
-
 /// A timed-out request relayed to the suspected-slow leader. Unlike client
 /// requests (whose effects are vouched by the 2f+1/f+1 reply quorum), a
 /// forward is trusted enough to enter the leader's batch pool directly, so it
@@ -75,8 +115,6 @@ struct Forward {
   Request request;
   Bytes signature;  // over forward_digest(request); empty when unsigned
 };
-Bytes encode_forward(const Forward& f);
-Forward decode_forward(ByteView data);
 /// Digest covered by a forward signature.
 crypto::Hash256 forward_digest(const Request& r);
 
@@ -85,8 +123,6 @@ struct Reply {
   ConsensusId cid = 0;
   Bytes payload;
 };
-Bytes encode_reply(const Reply& r);
-Reply decode_reply(ByteView data);
 
 // --- consensus traffic ---
 
@@ -95,8 +131,6 @@ struct Propose {
   Epoch epoch = 0;
   Bytes value;  // encoded Batch
 };
-Bytes encode_propose(const Propose& p);
-Propose decode_propose(ByteView data);
 
 struct WriteMsg {
   ConsensusId cid = 0;
@@ -104,16 +138,12 @@ struct WriteMsg {
   ValueHash hash{};
   Bytes signature;  // empty when unsigned writes are configured
 };
-Bytes encode_write(const WriteMsg& w);
-WriteMsg decode_write(ByteView data);
 
 struct AcceptMsg {
   ConsensusId cid = 0;
   Epoch epoch = 0;
   ValueHash hash{};
 };
-Bytes encode_accept(const AcceptMsg& a);
-AcceptMsg decode_accept(ByteView data);
 
 // --- synchronization phase ---
 
@@ -123,8 +153,6 @@ struct Stop {
   /// notice they missed decisions even when consensus traffic has dried up.
   ConsensusId last_decided = 0;
 };
-Bytes encode_stop(const Stop& s);
-Stop decode_stop(ByteView data);
 
 struct StopData {
   Epoch next_epoch = 0;
@@ -135,8 +163,6 @@ struct StopData {
   Bytes value;      // value backing the certificate (may be empty if unknown)
   Bytes signature;  // over stopdata_digest(*this)
 };
-Bytes encode_stopdata(const StopData& s);
-StopData decode_stopdata(ByteView data);
 /// Digest covered by a STOPDATA signature (everything but the signature).
 crypto::Hash256 stopdata_digest(const StopData& s);
 
@@ -146,16 +172,12 @@ struct Sync {
   std::vector<Bytes> stopdata_blobs;  // encoded StopData, signature-preserving
   Bytes proposed_value;               // encoded Batch
 };
-Bytes encode_sync(const Sync& s);
-Sync decode_sync(ByteView data);
 
 // --- state transfer ---
 
 struct StateRequest {
   ConsensusId last_decided = 0;
 };
-Bytes encode_state_request(const StateRequest& s);
-StateRequest decode_state_request(ByteView data);
 
 struct LogEntry {
   ConsensusId cid = 0;
@@ -168,8 +190,6 @@ struct StateReply {
   std::vector<LogEntry> log;     // decisions after the snapshot
   Epoch epoch = 0;               // sender's current regency
 };
-Bytes encode_state_reply(const StateReply& s);
-StateReply decode_state_reply(ByteView data);
 /// Digest used to find f+1 matching state replies.
 crypto::Hash256 state_reply_digest(const StateReply& s);
 
@@ -179,21 +199,99 @@ struct ValueRequest {
   ConsensusId cid = 0;
   ValueHash hash{};
 };
-Bytes encode_value_request(const ValueRequest& v);
-ValueRequest decode_value_request(ByteView data);
 
 struct ValueReply {
   ConsensusId cid = 0;
   Bytes value;
 };
-Bytes encode_value_reply(const ValueReply& v);
-ValueReply decode_value_reply(ByteView data);
 
 // --- receiver registration and pushes (custom replier, §5.1) ---
 
-Bytes encode_register_receiver();
+struct RegisterReceiver {};  // body-less: the sender id is the registration
 
-Bytes encode_push(ByteView payload);
-Bytes decode_push(ByteView data);
+struct Push {
+  Bytes payload;  // opaque application payload (e.g. an encoded SignedBlock)
+};
+
+// --- codec registry ---
+//
+// One specialization per wire message. `kKind` is the tag; write_body /
+// read_body handle everything after the kind byte.
+
+#define BFT_SMR_DECLARE_CODEC(Type, Kind)          \
+  template <>                                      \
+  struct Codec<Type> {                             \
+    static constexpr MsgKind kKind = Kind;         \
+    static void write_body(Writer& w, const Type& v); \
+    static Type read_body(Reader& r);              \
+  }
+
+BFT_SMR_DECLARE_CODEC(Request, MsgKind::request);
+BFT_SMR_DECLARE_CODEC(Forward, MsgKind::forward);
+BFT_SMR_DECLARE_CODEC(Propose, MsgKind::propose);
+BFT_SMR_DECLARE_CODEC(WriteMsg, MsgKind::write);
+BFT_SMR_DECLARE_CODEC(AcceptMsg, MsgKind::accept);
+BFT_SMR_DECLARE_CODEC(Stop, MsgKind::stop);
+BFT_SMR_DECLARE_CODEC(StopData, MsgKind::stopdata);
+BFT_SMR_DECLARE_CODEC(Sync, MsgKind::sync);
+BFT_SMR_DECLARE_CODEC(Reply, MsgKind::reply);
+BFT_SMR_DECLARE_CODEC(StateRequest, MsgKind::state_request);
+BFT_SMR_DECLARE_CODEC(StateReply, MsgKind::state_reply);
+BFT_SMR_DECLARE_CODEC(ValueRequest, MsgKind::value_request);
+BFT_SMR_DECLARE_CODEC(ValueReply, MsgKind::value_reply);
+BFT_SMR_DECLARE_CODEC(RegisterReceiver, MsgKind::register_receiver);
+BFT_SMR_DECLARE_CODEC(Push, MsgKind::push);
+
+#undef BFT_SMR_DECLARE_CODEC
+
+// --- named convenience wrappers (all framing goes through the codec) ---
+
+inline Bytes encode_request(const Request& r) { return encode(r); }
+inline Request decode_request(ByteView data) { return decode<Request>(data); }
+inline Bytes encode_forward(const Forward& f) { return encode(f); }
+inline Forward decode_forward(ByteView data) { return decode<Forward>(data); }
+inline Bytes encode_reply(const Reply& r) { return encode(r); }
+inline Reply decode_reply(ByteView data) { return decode<Reply>(data); }
+inline Bytes encode_propose(const Propose& p) { return encode(p); }
+inline Propose decode_propose(ByteView data) { return decode<Propose>(data); }
+inline Bytes encode_write(const WriteMsg& w) { return encode(w); }
+inline WriteMsg decode_write(ByteView data) { return decode<WriteMsg>(data); }
+inline Bytes encode_accept(const AcceptMsg& a) { return encode(a); }
+inline AcceptMsg decode_accept(ByteView data) { return decode<AcceptMsg>(data); }
+inline Bytes encode_stop(const Stop& s) { return encode(s); }
+inline Stop decode_stop(ByteView data) { return decode<Stop>(data); }
+inline Bytes encode_stopdata(const StopData& s) { return encode(s); }
+inline StopData decode_stopdata(ByteView data) { return decode<StopData>(data); }
+inline Bytes encode_sync(const Sync& s) { return encode(s); }
+inline Sync decode_sync(ByteView data) { return decode<Sync>(data); }
+inline Bytes encode_state_request(const StateRequest& s) { return encode(s); }
+inline StateRequest decode_state_request(ByteView data) {
+  return decode<StateRequest>(data);
+}
+inline Bytes encode_state_reply(const StateReply& s) { return encode(s); }
+inline StateReply decode_state_reply(ByteView data) {
+  return decode<StateReply>(data);
+}
+inline Bytes encode_value_request(const ValueRequest& v) { return encode(v); }
+inline ValueRequest decode_value_request(ByteView data) {
+  return decode<ValueRequest>(data);
+}
+inline Bytes encode_value_reply(const ValueReply& v) { return encode(v); }
+inline ValueReply decode_value_reply(ByteView data) {
+  return decode<ValueReply>(data);
+}
+inline Bytes encode_register_receiver() { return encode(RegisterReceiver{}); }
+
+/// Keeps the historical single-copy path: the payload view goes straight
+/// into the frame without an intermediate Push value.
+inline Bytes encode_push(ByteView payload) {
+  Writer w(payload.size() + 8);
+  w.u8(static_cast<std::uint8_t>(Codec<Push>::kKind));
+  w.bytes(payload);
+  return std::move(w).take();
+}
+inline Bytes decode_push(ByteView data) {
+  return decode<Push>(data).payload;
+}
 
 }  // namespace bft::smr

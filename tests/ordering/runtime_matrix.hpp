@@ -1,0 +1,46 @@
+// One protocol scenario, every runtime. The same ordering-service code (no
+// changes in src/smr, src/consensus or src/ordering) must pass this check on
+// the simulated, threaded and TCP runtimes: 4 nodes (f = 1), one frontend
+// accepting blocks on 2f+1 matching copies, 10 envelopes at block size 5
+// -> exactly 2 hash-chained blocks with payloads in submission order.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "ledger/chain.hpp"
+#include "ordering/deployment.hpp"
+
+namespace bft::ordering::testing {
+
+constexpr int kMatrixEnvelopes = 10;
+constexpr std::size_t kMatrixBlockSize = 5;
+constexpr std::size_t kMatrixBlocks = 2;
+
+inline ServiceOptions matrix_options() {
+  ServiceOptions options;
+  options.nodes = {0, 1, 2, 3};
+  options.block_size = kMatrixBlockSize;
+  options.replica_params.forward_timeout = runtime::msec(300);
+  options.replica_params.stop_timeout = runtime::msec(500);
+  return options;
+}
+
+inline Bytes matrix_envelope(int i) {
+  return to_bytes("matrix-env-" + std::to_string(i));
+}
+
+/// The runtime-independent acceptance check: right number of blocks, chain
+/// verifies, payloads intact and in submission order.
+inline void check_matrix_store(const ledger::BlockStore& store) {
+  ASSERT_EQ(store.height(), kMatrixBlocks);
+  ASSERT_TRUE(store.verify().is_ok());
+  int next = 0;
+  for (std::size_t b = 1; b <= store.height(); ++b) {
+    for (const Bytes& envelope : store.at(b).envelopes) {
+      EXPECT_EQ(envelope, matrix_envelope(next++));
+    }
+  }
+  EXPECT_EQ(next, kMatrixEnvelopes);
+}
+
+}  // namespace bft::ordering::testing

@@ -1,0 +1,75 @@
+// Runs the shared runtime_matrix.hpp scenario on the simulated and the
+// threaded runtime; the TCP variant lives in tcp_cluster_test.cpp (label
+// `net`). Protocol sources are byte-identical across all three.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "runtime/real_runtime.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "tests/ordering/runtime_matrix.hpp"
+
+namespace bft::ordering {
+namespace {
+
+using testing::check_matrix_store;
+using testing::kMatrixBlocks;
+using testing::kMatrixEnvelopes;
+using testing::matrix_envelope;
+using testing::matrix_options;
+
+TEST(RuntimeMatrixTest, SimRuntimePassesSharedScenario) {
+  const ServiceOptions options = matrix_options();
+  Service service = make_service(options);
+  runtime::SimCluster cluster(
+      sim::make_lan(104, sim::kMillisecond / 10, sim::NetworkConfig{}, 7), 7);
+  for (std::size_t i = 0; i < service.nodes.size(); ++i) {
+    cluster.add_process(service.cluster.members()[i],
+                        service.nodes[i].replica.get(), sim::CpuConfig{});
+  }
+  ledger::BlockStore store(options.channel);
+  Frontend frontend(service.cluster, make_frontend_options(service, options),
+                    [&](const ledger::Block& block) {
+                      ASSERT_TRUE(store.append(block).is_ok());
+                    });
+  cluster.add_process(100, &frontend);
+  for (int i = 0; i < kMatrixEnvelopes; ++i) {
+    cluster.schedule_at(sim::kMillisecond * (i + 1),
+                        [&frontend, i] { frontend.submit(matrix_envelope(i)); });
+  }
+  cluster.run_until(3 * sim::kSecond);
+  check_matrix_store(store);
+}
+
+TEST(RuntimeMatrixTest, RealRuntimePassesSharedScenario) {
+  const ServiceOptions options = matrix_options();
+  Service service = make_service(options);
+  runtime::RealCluster cluster;
+  for (std::size_t i = 0; i < service.nodes.size(); ++i) {
+    cluster.add_process(service.cluster.members()[i],
+                        service.nodes[i].replica.get());
+  }
+  ledger::BlockStore store(options.channel);
+  std::atomic<std::size_t> blocks{0};
+  Frontend frontend(service.cluster, make_frontend_options(service, options),
+                    [&](const ledger::Block& block) {
+                      ASSERT_TRUE(store.append(block).is_ok());
+                      blocks.fetch_add(1);
+                    });
+  cluster.add_process(100, &frontend);
+  cluster.start();
+  cluster.post(100, [&frontend] {
+    for (int i = 0; i < kMatrixEnvelopes; ++i) {
+      frontend.submit(matrix_envelope(i));
+    }
+  });
+  for (int spins = 0; spins < 1000 && blocks.load() < kMatrixBlocks; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  cluster.stop();
+  check_matrix_store(store);
+}
+
+}  // namespace
+}  // namespace bft::ordering

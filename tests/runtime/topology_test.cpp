@@ -1,0 +1,71 @@
+#include "runtime/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bft::runtime {
+namespace {
+
+constexpr std::string_view kSample = R"(# role  id  host:port
+node     0  127.0.0.1:5000
+node     1  127.0.0.1:5001
+node     2  127.0.0.1:5002
+node     3  127.0.0.1:5003   # trailing comment
+frontend 100 127.0.0.1:5100
+
+client   200 10.0.0.9:6000
+)";
+
+TEST(TopologyTest, ParsesRolesIdsAndAddresses) {
+  const Topology topo = Topology::parse(kSample);
+  ASSERT_EQ(topo.entries().size(), 6u);
+  EXPECT_EQ(topo.at(0).role, "node");
+  EXPECT_EQ(topo.at(0).host, "127.0.0.1");
+  EXPECT_EQ(topo.at(0).port, 5000);
+  EXPECT_EQ(topo.at(100).address(), "127.0.0.1:5100");
+  EXPECT_EQ(topo.at(200).host, "10.0.0.9");
+  EXPECT_EQ(topo.find(42), nullptr);
+  EXPECT_THROW(topo.at(42), std::invalid_argument);
+}
+
+TEST(TopologyTest, RoleAndAddressQueries) {
+  const Topology topo = Topology::parse(kSample);
+  EXPECT_EQ(topo.ids_with_role("node"),
+            (std::vector<ProcessId>{0, 1, 2, 3}));
+  EXPECT_EQ(topo.ids_with_role("frontend"), (std::vector<ProcessId>{100}));
+  EXPECT_EQ(topo.ids_at("127.0.0.1:5001"), (std::vector<ProcessId>{1}));
+  EXPECT_TRUE(topo.ids_at("127.0.0.1:9999").empty());
+}
+
+TEST(TopologyTest, CoHostedIdsShareOneAddress) {
+  const Topology topo = Topology::parse(
+      "node 0 127.0.0.1:4000\n"
+      "node 1 127.0.0.1:4000\n"
+      "frontend 100 127.0.0.1:4100\n");
+  EXPECT_EQ(topo.ids_at("127.0.0.1:4000"), (std::vector<ProcessId>{0, 1}));
+}
+
+TEST(TopologyTest, RejectsMalformedLines) {
+  EXPECT_THROW(Topology::parse("node 0 127.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(Topology::parse("node 0 127.0.0.1:notaport"),
+               std::invalid_argument);
+  EXPECT_THROW(Topology::parse("node 0 127.0.0.1:70000"),
+               std::invalid_argument);
+  EXPECT_THROW(Topology::parse("node zero 127.0.0.1:5000"),
+               std::invalid_argument);
+  EXPECT_THROW(Topology::parse("node 0 127.0.0.1:5000 extra"),
+               std::invalid_argument);
+  EXPECT_THROW(Topology::parse("node 0 127.0.0.1:5000\nnode 0 127.0.0.1:5001"),
+               std::invalid_argument);  // duplicate id
+}
+
+TEST(TopologyTest, CommentsAndBlanksIgnored) {
+  const Topology topo = Topology::parse("\n# only comments\n\n");
+  EXPECT_TRUE(topo.empty());
+}
+
+TEST(TopologyTest, LoadMissingFileThrows) {
+  EXPECT_THROW(Topology::load("/nonexistent/cluster.cfg"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bft::runtime

@@ -230,6 +230,37 @@ TEST(WireTest, TruncatedMessagesThrow) {
   }
 }
 
+TEST(WireTest, GenericCodecRoundTrip) {
+  // The tagged codec is the single framing implementation; the named
+  // encode_*/decode_* helpers are thin aliases over it.
+  const Request r = sample_request();
+  const Bytes via_generic = encode(r);
+  EXPECT_EQ(via_generic, encode_request(r));
+  EXPECT_EQ(decode<Request>(via_generic), r);
+}
+
+TEST(WireTest, GenericDecodeRejectsWrongKind) {
+  const Bytes stop = encode(Stop{3, 17});
+  EXPECT_THROW(decode<Propose>(stop), DecodeError);
+  EXPECT_EQ(decode<Stop>(stop).next_epoch, 3u);
+}
+
+TEST(WireTest, KindNamesAndRangeChecks) {
+  EXPECT_STREQ(kind_name(MsgKind::propose), "propose");
+  EXPECT_STREQ(kind_name(MsgKind::push), "push");
+  EXPECT_STREQ(kind_name(static_cast<MsgKind>(200)), "unknown");
+  EXPECT_TRUE(kind_known(MsgKind::request));
+  EXPECT_TRUE(kind_known(MsgKind::push));
+  EXPECT_FALSE(kind_known(static_cast<MsgKind>(0)));
+  EXPECT_FALSE(kind_known(static_cast<MsgKind>(200)));
+}
+
+TEST(WireTest, GenericDecodeRejectsTrailingBytes) {
+  Bytes padded = encode(Stop{1, 2});
+  padded.push_back(0x00);
+  EXPECT_THROW(decode<Stop>(padded), DecodeError);
+}
+
 TEST(WireTest, ReconfigPayloadRoundTrip) {
   const Bytes add = encode_reconfig(ReconfigOp::add, 9);
   const auto [op, node] = decode_reconfig(add);

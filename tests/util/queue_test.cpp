@@ -49,6 +49,53 @@ TEST(BlockingQueueTest, CloseDrainsRemainingItems) {
   EXPECT_EQ(q.pop(), std::nullopt);
 }
 
+TEST(BlockingQueueTest, TryPushAfterCloseFails) {
+  BlockingQueue<int> q(4);
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.try_push(2));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BlockingQueueTest, PopAfterCloseDrainsInFifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  q.close();
+  // Close stops intake, not drain: everything already queued comes out in
+  // order before the closed-and-empty nullopt.
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.try_pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedPushReturningFalse) {
+  BlockingQueue<int> q(1);
+  q.push(1);
+  std::atomic<int> result{-1};
+  std::thread producer([&] { result.store(q.push(2) ? 1 : 0); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(result.load(), -1);  // still blocked on the full queue
+  q.close();
+  producer.join();
+  EXPECT_EQ(result.load(), 0);
+  EXPECT_EQ(q.pop(), 1);  // the rejected push left no trace
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BlockingQueueTest, PopUnblocksBlockedPush) {
+  BlockingQueue<int> q(1);
+  q.push(1);
+  std::thread producer([&] { EXPECT_TRUE(q.push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_EQ(q.pop(), 2);
+}
+
 TEST(BlockingQueueTest, ManyProducersManyConsumers) {
   BlockingQueue<int> q(64);
   constexpr int kProducers = 4;
