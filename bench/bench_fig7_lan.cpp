@@ -12,7 +12,8 @@
 // Unless --metrics-out none, every cell also exports its per-stage latency
 // breakdown (obs registry + trace, schema in OBSERVABILITY.md) and the sweep
 // writes them as a JSON array, one object per cell, default
-// fig7_lan_metrics.json.
+// fig7_lan_metrics.json. --json-out FILE additionally writes a coarse
+// per-cell summary (throughput + signing bound) for regression snapshots.
 #include <cstdio>
 #include <sstream>
 
@@ -33,10 +34,22 @@ std::vector<std::uint64_t> parse_list(const std::string& text) {
   return out;
 }
 
+/// One sweep cell for the --json-out summary snapshot (the coarse numbers a
+/// regression diff cares about; --metrics-out keeps the per-stage detail).
+struct SummaryCell {
+  std::uint32_t orderers;
+  std::size_t block_size;
+  std::uint64_t envelope_size;
+  std::uint64_t receivers;
+  double throughput_tps;
+  double sign_bound_tps;
+};
+
 void run_panel(std::uint32_t orderers, std::size_t block_size,
                const std::vector<std::uint64_t>& sizes,
                const std::vector<std::uint64_t>& receivers, double measure_s,
-               std::uint64_t seed, std::vector<std::string>* metrics_json) {
+               std::uint64_t seed, std::vector<std::string>* metrics_json,
+               std::vector<SummaryCell>* summary) {
   std::printf("--- %u orderers, %zu envelopes/block ---\n", orderers,
               block_size);
   std::printf("%10s |", "env size");
@@ -56,6 +69,10 @@ void run_panel(std::uint32_t orderers, std::size_t block_size,
       config.collect_metrics = metrics_json != nullptr;
       const LanResult result = bench::run_lan_throughput(config);
       if (metrics_json != nullptr) metrics_json->push_back(result.metrics_json);
+      if (summary != nullptr) {
+        summary->push_back({orderers, block_size, size, r,
+                            result.throughput_tps, result.sign_bound_tps});
+      }
       bound = result.sign_bound_tps;
       std::printf("  %-9s", bench::format_k(result.throughput_tps).c_str());
       std::fflush(stdout);
@@ -78,6 +95,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const std::string metrics_out =
       flags.get("metrics-out", "fig7_lan_metrics.json");
+  const std::string json_out = flags.get("json-out", "");
   const std::string unused = flags.unused();
   if (!unused.empty()) {
     std::fprintf(stderr, "unknown flags: %s\n", unused.c_str());
@@ -90,13 +108,40 @@ int main(int argc, char** argv) {
               "ECDSA cost 1.905 ms; 32 closed-loop submitters on 2 client "
               "machines; batch limit 400)\n\n");
   std::vector<std::string> metrics;
+  std::vector<SummaryCell> summary;
   const bool want_metrics = !metrics_out.empty() && metrics_out != "none";
   for (std::uint64_t n : orderers_list) {
     for (std::uint64_t bs : block_list) {
       run_panel(static_cast<std::uint32_t>(n), static_cast<std::size_t>(bs),
                 sizes, receivers, measure_s, seed,
-                want_metrics ? &metrics : nullptr);
+                want_metrics ? &metrics : nullptr,
+                json_out.empty() ? nullptr : &summary);
     }
+  }
+  if (!json_out.empty()) {
+    std::FILE* out = std::fopen(json_out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fputs("[\n", out);
+    for (std::size_t i = 0; i < summary.size(); ++i) {
+      const SummaryCell& c = summary[i];
+      std::fprintf(out,
+                   "  {\"bench\": \"fig7_lan\", \"orderers\": %u, "
+                   "\"block_size\": %zu, \"envelope_bytes\": %llu, "
+                   "\"receivers\": %llu, \"throughput_tps\": %.0f, "
+                   "\"sign_bound_tps\": %.0f}%s\n",
+                   c.orderers, c.block_size,
+                   static_cast<unsigned long long>(c.envelope_size),
+                   static_cast<unsigned long long>(c.receivers),
+                   c.throughput_tps, c.sign_bound_tps,
+                   i + 1 < summary.size() ? "," : "");
+    }
+    std::fputs("]\n", out);
+    std::fclose(out);
+    std::printf("\nsummary snapshot: %zu cells -> %s\n", summary.size(),
+                json_out.c_str());
   }
   if (want_metrics) {
     std::FILE* out = std::fopen(metrics_out.c_str(), "w");

@@ -9,7 +9,7 @@
 // overhead that sits under every real deployment (DESIGN.md §2b).
 //
 //   bench_transport_loopback [--seconds 1.0] [--sizes 40,200,1024,4096]
-//                            [--queue 1024]
+//                            [--queue 1024] [--json-out FILE]
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -65,13 +65,23 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("queue", 1024));
   const std::vector<std::size_t> sizes =
       parse_sizes(flags.get("sizes", "40,200,1024,4096"));
+  const std::string json_out = flags.get("json-out", "");
   if (!flags.unused().empty()) {
     std::fprintf(stderr,
                  "usage: bench_transport_loopback [--seconds S] "
-                 "[--sizes a,b,...] [--queue N]\n%s\n",
+                 "[--sizes a,b,...] [--queue N] [--json-out FILE]\n%s\n",
                  flags.unused().c_str());
     return 2;
   }
+
+  struct Row {
+    std::size_t payload_bytes;
+    double sent_per_s;
+    double delivered_per_s;
+    double goodput_mb_s;
+    std::uint64_t shed;
+  };
+  std::vector<Row> rows;
 
   std::printf("TcpTransport loopback throughput (%.1f s/size, queue %zu)\n\n",
               seconds, queue);
@@ -130,10 +140,35 @@ int main(int argc, char** argv) {
     std::printf("%9zuB %12.0f/s %12.0f/s %9.1fMB/s %10llu\n", size, sent_rate,
                 delivered_rate, goodput_mbs,
                 static_cast<unsigned long long>(sender.frames_dropped()));
+    rows.push_back(
+        {size, sent_rate, delivered_rate, goodput_mbs, sender.frames_dropped()});
   }
 
   std::printf(
       "\nshed = frames dropped by the bounded per-peer send queue "
       "(transport.send_dropped)\n");
+
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::perror("fopen --json-out");
+      return 1;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "  {\"bench\": \"transport_loopback\", "
+                   "\"payload_bytes\": %zu, \"sent_per_s\": %.0f, "
+                   "\"delivered_per_s\": %.0f, \"goodput_mb_s\": %.2f, "
+                   "\"shed\": %llu}%s\n",
+                   r.payload_bytes, r.sent_per_s, r.delivered_per_s,
+                   r.goodput_mb_s, static_cast<unsigned long long>(r.shed),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_out.c_str());
+  }
   return 0;
 }

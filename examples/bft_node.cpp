@@ -16,6 +16,7 @@
 #include "obs/export.hpp"
 #include "ordering/deployment.hpp"
 #include "runtime/tcp_runtime.hpp"
+#include "storage/store.hpp"
 
 namespace {
 
@@ -37,11 +38,20 @@ int main(int argc, char** argv) {
   options.replica_params.forward_timeout = runtime::msec(300);
   options.replica_params.stop_timeout = runtime::msec(500);
   const bool want_metrics = flags.get_bool("metrics", false);
+  // Durable storage: on by default so a restarted process resumes its chain
+  // from disk. `--data-dir none` runs memory-only (the pre-durability mode).
+  const std::string data_dir =
+      flags.get("data-dir", "data/node-" + std::to_string(id));
+  const std::string fsync_name = flags.get("fsync", "group");
+  options.replica_params.checkpoint_period =
+      static_cast<std::uint64_t>(flags.get_int("checkpoint", 64));
   if (!flags.unused().empty() || config_path.empty()) {
     std::fprintf(stderr,
                  "usage: bft_node --config <topology.cfg> --id <node-id>\n"
                  "               [--block-size N] [--batch-timeout-ms N] "
-                 "[--metrics]\n%s\n",
+                 "[--metrics]\n"
+                 "               [--data-dir <path>|none] "
+                 "[--fsync always|group|off] [--checkpoint N]\n%s\n",
                  flags.unused().c_str());
     return 2;
   }
@@ -51,6 +61,29 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry metrics;
   options.metrics = want_metrics ? &metrics : nullptr;
   options.metrics_node = id;
+
+  std::unique_ptr<storage::NodeStore> store;
+  if (data_dir != "none") {
+    const auto fsync = storage::parse_fsync_policy(fsync_name);
+    if (!fsync.ok()) {
+      std::fprintf(stderr, "bft_node: %s\n", fsync.error().c_str());
+      return 2;
+    }
+    storage::StoreOptions store_options;
+    store_options.directory = data_dir;
+    store_options.node_id = id;
+    store_options.fsync = fsync.value();
+    store_options.metrics = want_metrics ? &metrics : nullptr;
+    auto opened = storage::NodeStore::open(std::move(store_options));
+    if (!opened.ok()) {
+      // Most commonly a mismatched node-id stamp: refuse to run rather than
+      // replay another node's history.
+      std::fprintf(stderr, "bft_node: %s\n", opened.error().c_str());
+      return 3;
+    }
+    store = std::move(opened).take();
+    options.replica_params.storage = store.get();
+  }
 
   ordering::SingleNode single = ordering::make_node(options, id);
   runtime::TcpClusterOptions cluster_options;
@@ -65,6 +98,20 @@ int main(int argc, char** argv) {
   std::printf("bft_node %u listening on %s (cluster of %zu, f=%u)\n", id,
               topology.at(id).address().c_str(), options.nodes.size(),
               single.cluster.quorums().f());
+  if (store != nullptr) {
+    // Recovery runs inside the replica's on_start, on its own event loop;
+    // wait for it so the banner shows final counts (scripts assert on
+    // `replayed=`).
+    while (!store->recovery_complete() && !g_stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::printf("bft_node %u storage: dir=%s fsync=%s replayed=%llu "
+                "wal_tail=%llu torn_bytes=%llu\n",
+                id, store->directory().c_str(), fsync_name.c_str(),
+                static_cast<unsigned long long>(store->replayed_records()),
+                static_cast<unsigned long long>(store->wal_tail_cid()),
+                static_cast<unsigned long long>(store->truncated_tail_bytes()));
+  }
   std::fflush(stdout);
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));

@@ -4,6 +4,16 @@
 
 namespace bft::ledger {
 
+crypto::Hash256 chain_position_digest(std::string_view channel,
+                                      std::uint64_t next_number,
+                                      const crypto::Hash256& previous_hash) {
+  Writer w;
+  w.str(channel);
+  w.u64(next_number);
+  w.raw(ByteView(previous_hash.data(), previous_hash.size()));
+  return crypto::sha256(w.data());
+}
+
 BlockStore::BlockStore(std::string channel)
     : channel_(std::move(channel)), tip_hash_(genesis_hash(channel_)) {}
 

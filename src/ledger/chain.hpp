@@ -8,6 +8,15 @@
 
 namespace bft::ledger {
 
+/// Deterministic digest of one channel's chain position (the ordering node's
+/// whole per-channel ledger footprint: the number the next block will carry
+/// and the header hash it must chain to). Durable checkpoints store the
+/// combined digest so recovery can prove a restored snapshot still describes
+/// the same chain head — any fork or corruption changes it.
+crypto::Hash256 chain_position_digest(std::string_view channel,
+                                      std::uint64_t next_number,
+                                      const crypto::Hash256& previous_hash);
+
 class BlockStore {
  public:
   explicit BlockStore(std::string channel);

@@ -69,6 +69,13 @@ Service make_service(const ServiceOptions& options) {
   if (options.nodes.empty()) {
     throw std::invalid_argument("make_service: need at least one node");
   }
+  if (options.replica_params.storage != nullptr && options.nodes.size() > 1) {
+    // A NodeStore stamps one node id and holds one WAL: sharing it across
+    // replicas would interleave their histories. Build per-node services
+    // with make_node when durability is wanted.
+    throw std::invalid_argument(
+        "make_service: replica_params.storage is per-node; use make_node");
+  }
   Service service{make_cluster(options), {}};
   for (runtime::ProcessId node : service.cluster.members()) {
     service.nodes.push_back(make_bundle(options, service.cluster, node));

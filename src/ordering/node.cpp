@@ -1,5 +1,7 @@
 #include "ordering/node.hpp"
 
+#include "ledger/chain.hpp"
+
 namespace bft::ordering {
 
 Bytes SignedBlock::encode() const {
@@ -354,6 +356,20 @@ void OrderingNode::restore(ByteView snapshot) {
     }
   }
   r.expect_done();
+}
+
+crypto::Hash256 OrderingNode::integrity_digest() const {
+  // Digest exactly what a forked history would change: each channel's chain
+  // head (next number + previous header hash). Cutter contents and the push
+  // cache are reconstructed deterministically by replay, so pinning them
+  // would only make the digest fragile, not safer.
+  crypto::Sha256 h;
+  for (const auto& [name, state] : channels_) {
+    const crypto::Hash256 digest = ledger::chain_position_digest(
+        name, state.next_block_number, state.previous_header_hash);
+    h.update(ByteView(digest.data(), digest.size()));
+  }
+  return h.finish();
 }
 
 }  // namespace bft::ordering

@@ -89,6 +89,7 @@ class OrderingNode final : public smr::StateMachine, public smr::Replier {
                 const smr::ExecutionContext& ctx) override;
   Bytes snapshot() const override;
   void restore(ByteView snapshot) override;
+  crypto::Hash256 integrity_digest() const override;
   void on_app_timer(std::uint64_t token) override;
   void on_recover() override;
   void on_state_installed() override;

@@ -9,6 +9,10 @@
 #include "obs/trace.hpp"
 #include "runtime/actor.hpp"
 
+namespace bft::storage {
+class NodeStore;
+}
+
 namespace bft::smr {
 
 /// Group membership. Replica indices (the QuorumSystem's ReplicaId space) are
@@ -96,6 +100,17 @@ struct ReplicaParams {
   /// into a single probe replica unless cross-node aggregation is wanted.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRing* trace = nullptr;
+  /// Optional durable store (non-owning; must outlive the replica). When set,
+  /// every confirmed decision is appended to the write-ahead log before it
+  /// executes, checkpoints are persisted, and on_start resumes from disk:
+  /// restore newest valid checkpoint -> verify the app's integrity digest ->
+  /// replay the WAL suffix. Strictly one replica per store.
+  storage::NodeStore* storage = nullptr;
+  /// State-transfer chunking: replies larger than `state_chunk_bytes` stream
+  /// in chunks with at most `state_chunk_window` unacknowledged per peer
+  /// (0 bytes = never chunk, always send whole replies).
+  std::uint32_t state_chunk_bytes = 64 * 1024;
+  std::uint32_t state_chunk_window = 4;
 };
 
 }  // namespace bft::smr

@@ -1,5 +1,7 @@
 #include "smr/replica.hpp"
 
+#include "storage/store.hpp"
+
 #include <algorithm>
 #include <mutex>
 
@@ -68,6 +70,10 @@ Replica::Replica(ProcessId self, ClusterConfig config, ReplicaParams params,
         &reg.counter("smr.regency_changes", "synchronization-phase completions");
     m_.state_transfers =
         &reg.counter("smr.state_transfers", "state transfers started");
+    m_.state_chunks_sent = &reg.counter(
+        "smr.state_chunks_sent", "StateReply fragments streamed to peers");
+    m_.state_chunks_received = &reg.counter(
+        "smr.state_chunks_received", "StateReply fragments reassembled");
     m_.pending_requests =
         &reg.gauge("smr.pending_requests", "request-pool depth");
     m_.batch_size =
@@ -94,6 +100,7 @@ bool Replica::is_leader() const {
 void Replica::on_start(runtime::Env& env) {
   Actor::on_start(env);
   checkpoint_snapshot_ = make_core_snapshot();
+  if (params_.storage != nullptr) recover_from_storage();
   if (!is_active_member()) {
     // Joining node: poll the cluster for state until a reconfiguration
     // admits us (§5.2).
@@ -176,6 +183,14 @@ void Replica::on_message(ProcessId from, ByteView payload) {
         break;
       case MsgKind::state_reply:
         handle_state_reply(from, decode_state_reply(payload), payload);
+        break;
+      case MsgKind::state_chunk:
+        charge(static_cast<runtime::Duration>(payload.size()) *
+               params_.costs.per_value_byte);
+        handle_state_chunk(from, decode_state_chunk(payload));
+        break;
+      case MsgKind::state_chunk_ack:
+        handle_state_chunk_ack(from, decode_state_chunk_ack(payload));
         break;
       case MsgKind::value_request:
         handle_value_request(from, decode_value_request(payload));
@@ -607,6 +622,9 @@ void Replica::try_apply() {
     const auto it = decided_values_.find(cid);
     if (it == decided_values_.end()) break;
     const ValueHash decided_hash = consensus::value_hash(it->second);
+    // Write-ahead: the decision is confirmed at this point; it must be on
+    // disk before any of its effects (execution, replies, block pushes).
+    persist_decision(cid, it->second);
 
     if (tentative_cursor_ >= cid) {
       const auto applied = tentative_hashes_.find(cid);
@@ -761,9 +779,94 @@ void Replica::maybe_checkpoint() {
   if (!tentative_hashes_.empty()) return;  // only checkpoint confirmed state
   snapshot_cid_ = confirm_cursor_;
   checkpoint_snapshot_ = make_core_snapshot();
+  persist_checkpoint();
   decided_values_.erase(decided_values_.begin(),
                         decided_values_.upper_bound(snapshot_cid_));
   instances_.erase(instances_.begin(), instances_.upper_bound(snapshot_cid_));
+}
+
+void Replica::persist_decision(ConsensusId cid, const Bytes& value) {
+  if (params_.storage == nullptr) return;
+  const Status appended = params_.storage->append_decision(
+      cid, ByteView(value.data(), value.size()));
+  if (!appended.is_ok()) {
+    // Durability is best-effort below the consensus safety argument (which
+    // rests on f+1 correct replicas, not on any disk): log loudly and keep
+    // serving; the next restart simply recovers less from disk.
+    BFT_LOG(error) << "replica " << self_ << ": wal append failed at cid "
+                   << cid << ": " << appended.error();
+  }
+}
+
+void Replica::persist_checkpoint() {
+  if (params_.storage == nullptr || snapshot_cid_ == 0) return;
+  storage::Checkpoint cp;
+  cp.cid = snapshot_cid_;
+  cp.integrity = app_->integrity_digest();
+  cp.snapshot = checkpoint_snapshot_;
+  const Status written = params_.storage->write_checkpoint(cp);
+  if (!written.is_ok()) {
+    BFT_LOG(error) << "replica " << self_ << ": checkpoint persist failed at cid "
+                   << snapshot_cid_ << ": " << written.error();
+  }
+}
+
+void Replica::recover_from_storage() {
+  storage::NodeStore& store = *params_.storage;
+  // checkpoint_snapshot_ still holds the pristine pre-recovery snapshot; it
+  // is the fail-closed fallback when every persisted checkpoint is refused.
+  const Bytes pristine = checkpoint_snapshot_;
+  bool restored = false;
+  for (const storage::Checkpoint& cp : store.load_checkpoints()) {
+    try {
+      restore_core_snapshot(cp.snapshot);
+    } catch (const std::exception& e) {
+      BFT_LOG(error) << "replica " << self_ << ": persisted checkpoint at cid "
+                     << cp.cid << " does not decode (" << e.what()
+                     << "); trying older";
+      restore_core_snapshot(pristine);
+      continue;
+    }
+    if (app_->integrity_digest() != cp.integrity) {
+      // CRC-valid bytes that decode into a different chain position than
+      // they were taken from: adopting them would rejoin with a forked
+      // history. Refuse and fall back (older slot, then state transfer).
+      BFT_LOG(error) << "replica " << self_ << ": checkpoint at cid " << cp.cid
+                     << " fails integrity verification — refusing it";
+      restore_core_snapshot(pristine);
+      continue;
+    }
+    snapshot_cid_ = cp.cid;
+    checkpoint_snapshot_ = cp.snapshot;
+    restored = true;
+    break;
+  }
+
+  // Replay the WAL suffix contiguous with the adopted position. A gap ends
+  // the usable prefix; anything beyond it is recovered via state transfer.
+  // Replayed values stay in decided_values_ so this node can serve state
+  // transfer to peers immediately after restarting.
+  replaying_ = true;
+  const std::uint64_t replayed =
+      store.replay(confirm_cursor_, [&](std::uint64_t cid, ByteView value) {
+        Bytes& slot = decided_values_[cid];
+        slot.assign(value.begin(), value.end());
+        execute_batch(cid, slot, false);
+        confirm_cursor_ = cid;
+        tentative_cursor_ = cid;
+      });
+  replaying_ = false;
+  if (restored || replayed > 0) {
+    order_frontier_ = std::max(order_frontier_, confirm_cursor_);
+    BFT_LOG(info) << "replica " << self_ << ": restarted from disk at cid "
+                  << confirm_cursor_ << " (checkpoint cid "
+                  << (restored ? snapshot_cid_ : 0) << ", " << replayed
+                  << " wal decisions replayed)";
+    app_->on_state_installed();
+  }
+  // Recovery runs on the replica's event loop; the hosting process may be
+  // waiting on this flag to read the final replay counters.
+  store.mark_recovery_complete();
 }
 
 Bytes Replica::make_core_snapshot() const {
@@ -1109,6 +1212,7 @@ void Replica::begin_state_transfer() {
   transferring_ = true;
   if (m_.state_transfers != nullptr) m_.state_transfers->add();
   transfer_replies_.clear();
+  chunk_in_.clear();  // partially reassembled streams belong to an old round
   for (ProcessId member : config_.members()) {
     if (member != self_) {
       env().send(member, encode_state_request(StateRequest{confirm_cursor_}));
@@ -1130,7 +1234,104 @@ void Replica::handle_state_request(ProcessId from, const StateRequest& msg) {
     }
   }
   reply.epoch = regency_;
-  env().send(from, encode_state_reply(reply));
+  send_state_reply(from, reply);
+}
+
+void Replica::send_state_reply(ProcessId to, const StateReply& reply) {
+  Bytes encoded = encode_state_reply(reply);
+  const std::size_t chunk_bytes =
+      std::max<std::size_t>(1, params_.state_chunk_bytes);
+  if (encoded.size() <= chunk_bytes) {
+    env().send(to, std::move(encoded));
+    return;
+  }
+
+  // Large reply: split the encoded bytes and stream them with a bounded
+  // window so a bulk checkpoint cannot monopolize the link to `to`. A new
+  // request from the same peer abandons any stream still in flight.
+  ChunkSendState& out = chunk_out_[to];
+  out.id = next_transfer_id_++;
+  out.chunks.clear();
+  out.next_to_send = 0;
+  out.acked = 0;
+  for (std::size_t off = 0; off < encoded.size(); off += chunk_bytes) {
+    const std::size_t len = std::min(chunk_bytes, encoded.size() - off);
+    out.chunks.emplace_back(encoded.begin() + off, encoded.begin() + off + len);
+  }
+
+  const std::uint32_t total = static_cast<std::uint32_t>(out.chunks.size());
+  const std::uint32_t window =
+      std::max<std::uint32_t>(1, params_.state_chunk_window);
+  while (out.next_to_send < total && out.next_to_send < window) {
+    StateChunk chunk{out.id, out.next_to_send, total,
+                     out.chunks[out.next_to_send]};
+    env().send(to, encode_state_chunk(chunk));
+    if (m_.state_chunks_sent != nullptr) m_.state_chunks_sent->add();
+    ++out.next_to_send;
+  }
+}
+
+void Replica::handle_state_chunk_ack(ProcessId from, const StateChunkAck& msg) {
+  const auto it = chunk_out_.find(from);
+  if (it == chunk_out_.end() || it->second.id != msg.transfer_id) return;
+  ChunkSendState& out = it->second;
+  if (msg.index >= out.chunks.size() || out.acked >= out.chunks.size()) return;
+  ++out.acked;
+  if (out.acked >= out.chunks.size()) {
+    chunk_out_.erase(it);  // stream fully delivered
+    return;
+  }
+  if (out.next_to_send < out.chunks.size()) {
+    StateChunk chunk{out.id, out.next_to_send,
+                     static_cast<std::uint32_t>(out.chunks.size()),
+                     out.chunks[out.next_to_send]};
+    env().send(from, encode_state_chunk(chunk));
+    if (m_.state_chunks_sent != nullptr) m_.state_chunks_sent->add();
+    ++out.next_to_send;
+  }
+}
+
+void Replica::handle_state_chunk(ProcessId from, const StateChunk& msg) {
+  if (!transferring_ || from == self_) return;
+  // A Byzantine sender controls `total`; bound what one peer can make us
+  // buffer before the reassembled reply would be decoded (and dropped) anyway.
+  constexpr std::uint32_t kMaxChunksPerTransfer = 1u << 16;
+  if (msg.total == 0 || msg.total > kMaxChunksPerTransfer ||
+      msg.index >= msg.total) {
+    return;
+  }
+  ChunkRecvState& in = chunk_in_[from];
+  if (in.id != msg.transfer_id || in.total != msg.total) {
+    in = ChunkRecvState{};
+    in.id = msg.transfer_id;
+    in.total = msg.total;
+    in.parts.resize(msg.total);
+  }
+  if (in.parts[msg.index].empty()) {
+    in.parts[msg.index] = msg.data;
+    ++in.received;
+    if (m_.state_chunks_received != nullptr) m_.state_chunks_received->add();
+  }
+  env().send(from, encode_state_chunk_ack(StateChunkAck{msg.transfer_id,
+                                                        msg.index}));
+  if (in.received < in.total) return;
+
+  Bytes full;
+  std::size_t size = 0;
+  for (const Bytes& part : in.parts) size += part.size();
+  full.reserve(size);
+  for (const Bytes& part : in.parts) {
+    full.insert(full.end(), part.begin(), part.end());
+  }
+  chunk_in_.erase(from);
+  try {
+    const StateReply reply = decode_state_reply(full);
+    handle_state_reply(from, reply, full);
+  } catch (const DecodeError&) {
+    BFT_LOG(warn) << "replica " << self_
+                  << ": reassembled state reply from " << from
+                  << " does not decode; dropping";
+  }
 }
 
 void Replica::handle_state_reply(ProcessId from, const StateReply& msg,
@@ -1213,6 +1414,7 @@ void Replica::try_assemble_state() {
   if (transfer_replies_.size() + 1 >= config_.n() && is_active_member()) {
     transferring_ = false;
     transfer_replies_.clear();
+    chunk_in_.clear();
     if (transfer_timer_ != 0) {
       env().cancel_timer(transfer_timer_);
       transfer_timer_ = 0;
@@ -1239,9 +1441,27 @@ void Replica::adopt_state(ConsensusId snapshot_cid, const Bytes& snapshot,
                         decided_values_.upper_bound(covered));
   instances_.erase(instances_.begin(), instances_.upper_bound(snapshot_cid));
 
+  // Persist the adopted position: the snapshot as a durable checkpoint (its
+  // digest is computed on the freshly restored state), then each replayed
+  // log entry write-ahead. The WAL accepts the upward cid jump; recovery
+  // resumes from this checkpoint, so the jumped-over range never matters.
+  if (params_.storage != nullptr && snapshot_cid > 0) {
+    storage::Checkpoint cp;
+    cp.cid = snapshot_cid;
+    cp.integrity = app_->integrity_digest();
+    cp.snapshot = snapshot;
+    const Status written = params_.storage->write_checkpoint(cp);
+    if (!written.is_ok()) {
+      BFT_LOG(error) << "replica " << self_
+                     << ": transferred-state checkpoint persist failed: "
+                     << written.error();
+    }
+  }
+
   replaying_ = true;
   for (const LogEntry& entry : log) {
     if (entry.cid != confirm_cursor_ + 1) break;  // non-contiguous: stop
+    persist_decision(entry.cid, entry.value);
     decided_values_[entry.cid] = entry.value;
     execute_batch(entry.cid, entry.value, false);
     confirm_cursor_ = entry.cid;
@@ -1267,6 +1487,7 @@ void Replica::adopt_state(ConsensusId snapshot_cid, const Bytes& snapshot,
   regency_ = std::max(regency_, epoch_hint);
   transferring_ = false;
   transfer_replies_.clear();
+  chunk_in_.clear();
   if (transfer_timer_ != 0) {
     env().cancel_timer(transfer_timer_);
     transfer_timer_ = 0;

@@ -128,6 +128,9 @@ class Replica : public runtime::Actor {
   void handle_state_request(runtime::ProcessId from, const StateRequest& msg);
   void handle_state_reply(runtime::ProcessId from, const StateReply& msg,
                           ByteView raw);
+  void handle_state_chunk(runtime::ProcessId from, const StateChunk& msg);
+  void handle_state_chunk_ack(runtime::ProcessId from,
+                              const StateChunkAck& msg);
   void handle_value_request(runtime::ProcessId from, const ValueRequest& msg);
   void handle_value_reply(runtime::ProcessId from, const ValueReply& msg);
 
@@ -154,6 +157,15 @@ class Replica : public runtime::Actor {
   Bytes make_core_snapshot() const;
   void restore_core_snapshot(ByteView snapshot);
 
+  // -- durability (no-ops when params_.storage is null) --
+  /// Write-ahead append of a confirmed decision (before it executes).
+  void persist_decision(ConsensusId cid, const Bytes& value);
+  /// Persists the current checkpoint (snapshot_cid_/checkpoint_snapshot_)
+  /// with the app's integrity digest; prunes the WAL behind it.
+  void persist_checkpoint();
+  /// Restart-from-disk: newest verifiable checkpoint + contiguous WAL suffix.
+  void recover_from_storage();
+
   // -- synchronization phase --
   void start_regency_change(consensus::Epoch next);
   void install_regency(consensus::Epoch next);
@@ -166,6 +178,10 @@ class Replica : public runtime::Actor {
   bool admit_consensus_cid(ConsensusId cid);
   void note_future_traffic(ConsensusId cid);
   void begin_state_transfer();
+  /// Sends `reply` to `to` — whole when it fits in one state_chunk_bytes
+  /// frame, otherwise as an acked stream of StateChunk fragments with at
+  /// most state_chunk_window outstanding.
+  void send_state_reply(runtime::ProcessId to, const StateReply& reply);
   /// Assembles the longest decided prefix vouched by f+1 replies; adopts it
   /// if it advances us. Cancels a spurious transfer when f+1 peers report
   /// nothing newer.
@@ -271,6 +287,25 @@ class Replica : public runtime::Actor {
   std::uint64_t transfer_timer_ = 0;
   std::map<runtime::ProcessId, StateReply> transfer_replies_;
 
+  // Chunked reply streams (one per peer in each direction). Senders keep the
+  // pre-split fragments and a send/ack cursor; receivers reassemble into
+  // `parts` and feed the completed bytes through handle_state_reply.
+  struct ChunkSendState {
+    std::uint64_t id = 0;
+    std::vector<Bytes> chunks;
+    std::uint32_t next_to_send = 0;
+    std::uint32_t acked = 0;
+  };
+  struct ChunkRecvState {
+    std::uint64_t id = 0;
+    std::uint32_t total = 0;
+    std::uint32_t received = 0;
+    std::vector<Bytes> parts;
+  };
+  std::map<runtime::ProcessId, ChunkSendState> chunk_out_;
+  std::map<runtime::ProcessId, ChunkRecvState> chunk_in_;
+  std::uint64_t next_transfer_id_ = 1;
+
   // Custom-replier audience.
   std::set<runtime::ProcessId> receivers_;
 
@@ -288,6 +323,8 @@ class Replica : public runtime::Actor {
     obs::Counter* pushes_sent = nullptr;
     obs::Counter* regency_changes = nullptr;
     obs::Counter* state_transfers = nullptr;
+    obs::Counter* state_chunks_sent = nullptr;
+    obs::Counter* state_chunks_received = nullptr;
     obs::Gauge* pending_requests = nullptr;
     obs::LatencyHistogram* batch_size = nullptr;
     obs::LatencyHistogram* propose_to_write = nullptr;

@@ -12,6 +12,7 @@
 //     external side effects it cannot repeat.
 #pragma once
 
+#include "crypto/sha256.hpp"
 #include "smr/wire.hpp"
 
 namespace bft::smr {
@@ -38,6 +39,16 @@ class StateMachine {
 
   /// Replaces the application state with a previously captured snapshot.
   virtual void restore(ByteView snapshot) = 0;
+
+  /// Digest of the application's externally visible position (for the
+  /// ordering service: every channel's chain head). Durable recovery stores
+  /// this beside each checkpoint and recomputes it after restoring — a
+  /// mismatch means the checkpoint decodes into a different history than it
+  /// was taken from, and recovery refuses it (fail closed) rather than rejoin
+  /// with a forked chain. Default: hash of the full snapshot.
+  virtual crypto::Hash256 integrity_digest() const {
+    return crypto::sha256(snapshot());
+  }
 
   /// Fired for timers the application armed via Replica::set_app_timer.
   /// Local (non-replicated) machinery only — batch timeouts and the like.

@@ -106,12 +106,14 @@ const char* kind_name(MsgKind kind) {
     case MsgKind::value_reply: return "value_reply";
     case MsgKind::register_receiver: return "register_receiver";
     case MsgKind::push: return "push";
+    case MsgKind::state_chunk: return "state_chunk";
+    case MsgKind::state_chunk_ack: return "state_chunk_ack";
   }
   return "unknown";
 }
 
 bool kind_known(MsgKind kind) {
-  return kind >= MsgKind::request && kind <= MsgKind::push;
+  return kind >= MsgKind::request && kind <= MsgKind::state_chunk_ack;
 }
 
 bool Request::operator==(const Request& other) const {
@@ -326,6 +328,32 @@ Push Codec<Push>::read_body(Reader& r) {
   Push p;
   p.payload = r.bytes();
   return p;
+}
+
+void Codec<StateChunk>::write_body(Writer& w, const StateChunk& v) {
+  w.u64(v.transfer_id);
+  w.u32(v.index);
+  w.u32(v.total);
+  w.bytes(v.data);
+}
+StateChunk Codec<StateChunk>::read_body(Reader& r) {
+  StateChunk c;
+  c.transfer_id = r.u64();
+  c.index = r.u32();
+  c.total = r.u32();
+  c.data = r.bytes();
+  return c;
+}
+
+void Codec<StateChunkAck>::write_body(Writer& w, const StateChunkAck& v) {
+  w.u64(v.transfer_id);
+  w.u32(v.index);
+}
+StateChunkAck Codec<StateChunkAck>::read_body(Reader& r) {
+  StateChunkAck a;
+  a.transfer_id = r.u64();
+  a.index = r.u32();
+  return a;
 }
 
 // --- signature digests ---

@@ -35,6 +35,8 @@ enum class MsgKind : std::uint8_t {
   value_reply = 13,
   register_receiver = 14,  // receiver -> replicas (custom-replier audience)
   push = 15,               // replica -> receivers (application payload)
+  state_chunk = 16,        // replica -> lagging replica (streamed reply)
+  state_chunk_ack = 17,    // lagging replica -> replica (flow control)
 };
 
 /// Reads the kind byte without consuming the message.
@@ -193,6 +195,24 @@ struct StateReply {
 /// Digest used to find f+1 matching state replies.
 crypto::Hash256 state_reply_digest(const StateReply& s);
 
+/// One fragment of an encoded StateReply. Replies larger than the sender's
+/// ReplicaParams::state_chunk_bytes stream as a sequence of chunks so a bulk
+/// checkpoint cannot monopolize a transport link; the receiver acks each
+/// fragment and the sender keeps at most state_chunk_window unacked chunks
+/// in flight per peer. Reassembled bytes decode as a regular StateReply, so
+/// chunking changes delivery, never the f+1 vouching logic.
+struct StateChunk {
+  std::uint64_t transfer_id = 0;  // sender-local, fresh per reply stream
+  std::uint32_t index = 0;        // 0-based fragment position
+  std::uint32_t total = 0;        // fragment count of the whole reply
+  Bytes data;
+};
+
+struct StateChunkAck {
+  std::uint64_t transfer_id = 0;
+  std::uint32_t index = 0;
+};
+
 // --- decided-value recovery ---
 
 struct ValueRequest {
@@ -241,6 +261,8 @@ BFT_SMR_DECLARE_CODEC(ValueRequest, MsgKind::value_request);
 BFT_SMR_DECLARE_CODEC(ValueReply, MsgKind::value_reply);
 BFT_SMR_DECLARE_CODEC(RegisterReceiver, MsgKind::register_receiver);
 BFT_SMR_DECLARE_CODEC(Push, MsgKind::push);
+BFT_SMR_DECLARE_CODEC(StateChunk, MsgKind::state_chunk);
+BFT_SMR_DECLARE_CODEC(StateChunkAck, MsgKind::state_chunk_ack);
 
 #undef BFT_SMR_DECLARE_CODEC
 
@@ -281,6 +303,14 @@ inline ValueReply decode_value_reply(ByteView data) {
   return decode<ValueReply>(data);
 }
 inline Bytes encode_register_receiver() { return encode(RegisterReceiver{}); }
+inline Bytes encode_state_chunk(const StateChunk& c) { return encode(c); }
+inline StateChunk decode_state_chunk(ByteView data) {
+  return decode<StateChunk>(data);
+}
+inline Bytes encode_state_chunk_ack(const StateChunkAck& a) { return encode(a); }
+inline StateChunkAck decode_state_chunk_ack(ByteView data) {
+  return decode<StateChunkAck>(data);
+}
 
 /// Keeps the historical single-copy path: the payload view goes straight
 /// into the frame without an intermediate Push value.

@@ -1,0 +1,160 @@
+#include "storage/checkpoint.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "storage/crc32.hpp"
+
+namespace bft::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'F', 'T', 'C', 'K', 'P', 'T', '1'};
+constexpr std::size_t kHeaderSize = sizeof(kMagic) + 8;  // + len + crc
+
+std::optional<Checkpoint> read_slot(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  Bytes contents;
+  std::uint8_t buf[64 * 1024];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    contents.insert(contents.end(), buf, buf + n);
+  }
+  std::fclose(file);
+
+  if (contents.size() < kHeaderSize) return std::nullopt;  // empty or partial
+  if (std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  Reader header(ByteView(contents.data() + sizeof(kMagic), 8));
+  const std::uint32_t payload_len = header.u32();
+  const std::uint32_t crc = header.u32();
+  if (contents.size() != kHeaderSize + payload_len) {
+    return std::nullopt;  // truncated (torn write) or trailing garbage
+  }
+  const ByteView payload(contents.data() + kHeaderSize, payload_len);
+  if (crc32_ieee(payload) != crc) return std::nullopt;
+
+  try {
+    Reader r(payload);
+    Checkpoint cp;
+    cp.cid = r.u64();
+    cp.integrity = crypto::hash_from_bytes(r.raw(32));
+    cp.snapshot = r.bytes();
+    r.expect_done();
+    return cp;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string directory)
+    : directory_(std::move(directory)) {}
+
+Result<std::unique_ptr<CheckpointStore>> CheckpointStore::open(
+    std::string directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Result<std::unique_ptr<CheckpointStore>>::failure(
+        "checkpoint: cannot create " + directory + ": " + ec.message());
+  }
+  return std::unique_ptr<CheckpointStore>(
+      new CheckpointStore(std::move(directory)));
+}
+
+std::string CheckpointStore::slot_path(int slot) const {
+  return directory_ + (slot == 0 ? "/checkpoint-a.ckpt" : "/checkpoint-b.ckpt");
+}
+
+std::vector<Checkpoint> CheckpointStore::load() const {
+  std::vector<Checkpoint> out;
+  for (int slot = 0; slot < 2; ++slot) {
+    auto cp = read_slot(slot_path(slot));
+    if (cp.has_value()) out.push_back(std::move(*cp));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Checkpoint& a, const Checkpoint& b) { return a.cid > b.cid; });
+  return out;
+}
+
+std::uint64_t CheckpointStore::retain_floor() const {
+  const std::vector<Checkpoint> slots = load();
+  if (slots.empty()) return 0;
+  return slots.back().cid;
+}
+
+Status CheckpointStore::write(const Checkpoint& cp) {
+  // Pick the victim slot: the one with the older checkpoint (invalid = oldest).
+  int victim = 0;
+  std::uint64_t victim_cid = UINT64_MAX;
+  for (int slot = 0; slot < 2; ++slot) {
+    const auto existing = read_slot(slot_path(slot));
+    const std::uint64_t cid = existing.has_value() ? existing->cid : 0;
+    if (cid < victim_cid) {
+      victim_cid = cid;
+      victim = slot;
+    }
+  }
+
+  Writer payload;
+  payload.u64(cp.cid);
+  payload.raw(ByteView(cp.integrity.data(), cp.integrity.size()));
+  payload.bytes(cp.snapshot);
+
+  Writer file;
+  file.raw(ByteView(reinterpret_cast<const std::uint8_t*>(kMagic),
+                    sizeof(kMagic)));
+  file.u32(static_cast<std::uint32_t>(payload.size()));
+  file.u32(crc32_ieee(ByteView(payload.data().data(), payload.size())));
+  file.raw(ByteView(payload.data().data(), payload.size()));
+
+  const std::string target = slot_path(victim);
+  const std::string tmp = target + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::failure("checkpoint: cannot create " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  const Bytes& bytes = file.data();
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::failure(std::string("checkpoint: write failed: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  ::fsync(fd);
+  ::close(fd);
+  if (::rename(tmp.c_str(), target.c_str()) != 0) {
+    return Status::failure("checkpoint: rename to " + target + " failed: " +
+                           std::strerror(errno));
+  }
+  const int dir_fd = ::open(directory_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  last_written_bytes_ = bytes.size();
+  return Status::ok();
+}
+
+}  // namespace bft::storage

@@ -1,0 +1,41 @@
+#include "storage/crc32.hpp"
+
+#include <array>
+
+namespace bft::storage {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32_ieee_update(std::uint32_t seed, ByteView data) {
+  const auto& t = table();
+  std::uint32_t crc = ~seed;
+  for (const std::uint8_t byte : data) {
+    crc = (crc >> 8) ^ t[(crc ^ byte) & 0xFFu];
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32_ieee(ByteView data) { return crc32_ieee_update(0, data); }
+
+}  // namespace bft::storage

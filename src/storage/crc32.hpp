@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for on-disk frame
+// integrity. Cryptographic digests guard against adversaries; the WAL and
+// checkpoint files only need to detect torn writes and bit rot, where a
+// 4-byte CRC per frame is the storage-systems standard (and 8x cheaper than
+// SHA-256 on the append path).
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace bft::storage {
+
+/// CRC-32 of `data` (initial value 0; standard final xor). Matches zlib's
+/// crc32(): crc32_ieee(to_bytes("123456789")) == 0xCBF43926.
+std::uint32_t crc32_ieee(ByteView data);
+
+/// Streaming form: feed the previous return value back in as `seed` to
+/// checksum discontiguous parts (seed 0 to start).
+std::uint32_t crc32_ieee_update(std::uint32_t seed, ByteView data);
+
+}  // namespace bft::storage

@@ -1,0 +1,120 @@
+#include "storage/store.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/log.hpp"
+
+namespace bft::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Reads the NODE stamp; empty string when absent.
+std::string read_stamp(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return "";
+  char buf[128] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, file);
+  std::fclose(file);
+  return std::string(buf, n);
+}
+
+}  // namespace
+
+NodeStore::NodeStore(StoreOptions options) : options_(std::move(options)) {}
+
+Result<std::unique_ptr<NodeStore>> NodeStore::open(StoreOptions options) {
+  using R = Result<std::unique_ptr<NodeStore>>;
+
+  std::error_code ec;
+  fs::create_directories(options.directory, ec);
+  if (ec) {
+    return R::failure("storage: cannot create " + options.directory + ": " +
+                      ec.message());
+  }
+
+  // Node-id stamp: refuse to adopt another node's history. A mis-addressed
+  // --data-dir must fail loudly, not replay a different replica's chain.
+  const std::string stamp_path = options.directory + "/NODE";
+  const std::string want = "node " + std::to_string(options.node_id) + "\n";
+  const std::string have = read_stamp(stamp_path);
+  if (have.empty()) {
+    std::FILE* file = std::fopen(stamp_path.c_str(), "wb");
+    if (file == nullptr) {
+      return R::failure("storage: cannot write " + stamp_path + ": " +
+                        std::strerror(errno));
+    }
+    std::fwrite(want.data(), 1, want.size(), file);
+    std::fclose(file);
+  } else if (have != want) {
+    return R::failure("storage: data dir " + options.directory +
+                      " is stamped \"" +
+                      have.substr(0, have.find('\n')) +
+                      "\" but this process is node " +
+                      std::to_string(options.node_id) +
+                      " — refusing to reuse another node's history");
+  }
+
+  std::unique_ptr<NodeStore> store(new NodeStore(options));
+
+  WalOptions wal_options;
+  wal_options.directory = options.directory + "/wal";
+  wal_options.segment_bytes = options.wal_segment_bytes;
+  wal_options.fsync = options.fsync;
+  wal_options.group_interval_ns = options.group_interval_ns;
+  if (options.metrics != nullptr) {
+    auto& m = *options.metrics;
+    wal_options.instruments.appends =
+        &m.counter("storage.wal_appends", "decisions appended to the WAL");
+    wal_options.instruments.fsync_ns = &m.histogram(
+        "storage.fsync_ns", "ns", "latency of WAL fsync calls");
+    wal_options.instruments.truncated_tail = &m.counter(
+        "storage.truncated_tail_bytes",
+        "bytes discarded truncating torn/corrupt WAL tails at open");
+    store->replayed_metric_ = &m.counter(
+        "storage.replayed_blocks", "decisions replayed from disk at restart");
+    store->checkpoint_bytes_ = &m.counter(
+        "storage.checkpoint_bytes", "bytes written to checkpoint files");
+  }
+
+  auto wal = WriteAheadLog::open(std::move(wal_options));
+  if (!wal.ok()) return R::failure(wal.error());
+  store->wal_ = std::move(wal).take();
+
+  auto checkpoints = CheckpointStore::open(options.directory);
+  if (!checkpoints.ok()) return R::failure(checkpoints.error());
+  store->checkpoints_ = std::move(checkpoints).take();
+
+  return R(std::move(store));
+}
+
+Status NodeStore::append_decision(std::uint64_t cid, ByteView value) {
+  return wal_->append(cid, value);
+}
+
+Status NodeStore::write_checkpoint(const Checkpoint& cp) {
+  Status status = checkpoints_->write(cp);
+  if (!status.is_ok()) return status;
+  if (checkpoint_bytes_ != nullptr) {
+    checkpoint_bytes_->add(checkpoints_->last_written_bytes());
+  }
+  // Everything below the older surviving slot is unreachable by recovery.
+  const std::uint64_t floor = checkpoints_->retain_floor();
+  if (floor > 0) wal_->prune_below(floor);
+  return Status::ok();
+}
+
+std::uint64_t NodeStore::replay(
+    std::uint64_t after,
+    const std::function<void(std::uint64_t cid, ByteView value)>& fn) {
+  const std::uint64_t n = wal_->replay(after, fn);
+  replayed_ += n;
+  if (replayed_metric_ != nullptr) replayed_metric_->add(n);
+  return n;
+}
+
+}  // namespace bft::storage

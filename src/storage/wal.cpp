@@ -1,0 +1,497 @@
+#include "storage/wal.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/log.hpp"
+#include "storage/crc32.hpp"
+
+namespace bft::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'F', 'T', 'W', 'A', 'L', '1', '\n'};
+constexpr std::size_t kMagicSize = sizeof(kMagic);
+constexpr std::size_t kFrameHeader = 8;  // u32 len + u32 crc
+// A decided batch is bounded by batch_max * envelope size; anything claiming
+// more than this is a corrupt length field, not a record.
+constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(load_u32(p)) |
+         (static_cast<std::uint64_t>(load_u32(p + 4)) << 32);
+}
+
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void store_u64(std::uint8_t* p, std::uint64_t v) {
+  store_u32(p, static_cast<std::uint32_t>(v));
+  store_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::string segment_name(std::uint64_t first_cid) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu.seg",
+                static_cast<unsigned long long>(first_cid));
+  return buf;
+}
+
+/// Memory-maps a whole file read-only; falls back to a heap read when mmap is
+/// unavailable (empty files, exotic filesystems). `out` owns the bytes either
+/// way via the returned unmapper.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return;
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      return;
+    }
+    size_ = static_cast<std::size_t>(st.st_size);
+    ok_ = true;
+    if (size_ == 0) {
+      ::close(fd);
+      return;
+    }
+    void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      data_ = static_cast<const std::uint8_t*>(map);
+      mapped_ = true;
+      // Sequential scan hint: recovery reads every byte exactly once.
+      ::madvise(map, size_, MADV_SEQUENTIAL);
+    } else {
+      fallback_.resize(size_);
+      std::size_t got = 0;
+      while (got < size_) {
+        const ssize_t n =
+            ::pread(fd, fallback_.data() + got, size_ - got,
+                    static_cast<off_t>(got));
+        if (n <= 0) {
+          ok_ = false;
+          break;
+        }
+        got += static_cast<std::size_t>(n);
+      }
+      data_ = fallback_.data();
+    }
+    ::close(fd);
+  }
+
+  ~MappedFile() {
+    if (mapped_) {
+      ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    }
+  }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  bool ok() const { return ok_; }
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  bool ok_ = false;
+  bool mapped_ = false;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  Bytes fallback_;
+};
+
+/// Scans frames in [kMagicSize, size); calls `fn(cid, value)` for each valid
+/// frame (fn may be null). Returns the offset just past the last valid frame
+/// and whether the scan ended cleanly at EOF.
+struct ScanResult {
+  std::size_t valid_end = kMagicSize;
+  std::uint64_t first_cid = 0;
+  std::uint64_t last_cid = 0;
+  bool clean = true;  // false: truncated/corrupt frame found
+};
+
+ScanResult scan_frames(
+    const std::uint8_t* data, std::size_t size, std::uint64_t prev_cid,
+    const std::function<void(std::uint64_t, ByteView)>* fn) {
+  ScanResult result;
+  std::size_t pos = kMagicSize;
+  std::uint64_t last = prev_cid;
+  while (pos + kFrameHeader <= size) {
+    const std::uint32_t len = load_u32(data + pos);
+    if (len < 8 || len > kMaxRecordBytes || pos + kFrameHeader + len > size) {
+      result.clean = false;
+      break;
+    }
+    const std::uint8_t* payload = data + pos + kFrameHeader;
+    const std::uint32_t crc = load_u32(data + pos + 4);
+    if (crc32_ieee(ByteView(payload, len)) != crc) {
+      result.clean = false;
+      break;
+    }
+    const std::uint64_t cid = load_u64(payload);
+    if (cid <= last) {  // non-monotonic: forked or corrupted history
+      result.clean = false;
+      break;
+    }
+    last = cid;
+    if (result.first_cid == 0) result.first_cid = cid;
+    result.last_cid = cid;
+    if (fn != nullptr && *fn) {
+      (*fn)(cid, ByteView(payload + 8, len - 8));
+    }
+    pos += kFrameHeader + len;
+  }
+  if (pos != size) result.clean = false;
+  result.valid_end = pos;
+  return result;
+}
+
+}  // namespace
+
+Result<FsyncPolicy> parse_fsync_policy(const std::string& name) {
+  if (name == "always") return FsyncPolicy::always;
+  if (name == "group") return FsyncPolicy::group;
+  if (name == "off") return FsyncPolicy::off;
+  return Result<FsyncPolicy>::failure("unknown fsync policy '" + name +
+                                      "' (always|group|off)");
+}
+
+const char* fsync_policy_name(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::always: return "always";
+    case FsyncPolicy::group: return "group";
+    case FsyncPolicy::off: return "off";
+  }
+  return "?";
+}
+
+WriteAheadLog::WriteAheadLog(WalOptions options)
+    : options_(std::move(options)) {}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::open(WalOptions options) {
+  std::error_code ec;
+  fs::create_directories(options.directory, ec);
+  if (ec) {
+    return Result<std::unique_ptr<WriteAheadLog>>::failure(
+        "wal: cannot create " + options.directory + ": " + ec.message());
+  }
+  std::unique_ptr<WriteAheadLog> wal(new WriteAheadLog(std::move(options)));
+  wal->dir_fd_ = ::open(wal->options_.directory.c_str(),
+                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (wal->dir_fd_ < 0) {
+    return Result<std::unique_ptr<WriteAheadLog>>::failure(
+        "wal: cannot open directory " + wal->options_.directory);
+  }
+  const Status scanned = wal->scan_on_open();
+  if (!scanned.is_ok()) {
+    return Result<std::unique_ptr<WriteAheadLog>>::failure(scanned.error());
+  }
+  if (wal->options_.instruments.truncated_tail != nullptr &&
+      wal->truncated_bytes_ > 0) {
+    wal->options_.instruments.truncated_tail->add(wal->truncated_bytes_);
+  }
+  if (wal->options_.fsync == FsyncPolicy::group) {
+    wal->flusher_ = std::thread([w = wal.get()] { w->flusher_main(); });
+  }
+  return wal;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  flusher_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dirty_ && options_.fsync != FsyncPolicy::off) fsync_active_locked();
+    if (active_fd_ >= 0) ::close(active_fd_);
+    if (dir_fd_ >= 0) ::close(dir_fd_);
+  }
+}
+
+Status WriteAheadLog::scan_on_open() {
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(options_.directory)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0 && name.size() > 8 &&
+        name.substr(name.size() - 4) == ".seg") {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());  // fixed-width cid => lexicographic
+
+  std::uint64_t prev_cid = 0;
+  bool broken = false;
+  for (const std::string& name : names) {
+    Segment segment;
+    segment.path = options_.directory + "/" + name;
+    if (broken) {
+      // Everything after a break is unreachable history: discard it.
+      std::error_code ec;
+      truncated_bytes_ += fs::file_size(segment.path, ec);
+      fs::remove(segment.path, ec);
+      continue;
+    }
+    const std::uint64_t truncated_before = truncated_bytes_;
+    if (!scan_segment(segment, prev_cid)) {
+      std::error_code ec;
+      truncated_bytes_ += fs::file_size(segment.path, ec);
+      fs::remove(segment.path, ec);
+      broken = true;
+      continue;
+    }
+    // A mid-segment truncation also severs everything after it: records in
+    // later segments are beyond the hole and must not survive as a fork.
+    if (truncated_bytes_ > truncated_before) broken = true;
+    if (segment.last_cid > 0) prev_cid = segment.last_cid;
+    segments_.push_back(std::move(segment));
+  }
+  tail_cid_ = prev_cid;
+
+  // Reopen the last segment for appending (if any).
+  if (!segments_.empty()) {
+    Segment& last = segments_.back();
+    active_fd_ = ::open(last.path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (active_fd_ < 0) {
+      return Status::failure("wal: cannot reopen " + last.path);
+    }
+  }
+  return Status::ok();
+}
+
+bool WriteAheadLog::scan_segment(Segment& segment, std::uint64_t prev_cid) {
+  MappedFile file(segment.path);
+  if (!file.ok()) return false;
+  if (file.size() < kMagicSize ||
+      std::memcmp(file.data(), kMagic, kMagicSize) != 0) {
+    return false;  // bad header: the whole file is garbage
+  }
+  const ScanResult scan = scan_frames(file.data(), file.size(), prev_cid, nullptr);
+  if (!scan.clean) {
+    // Torn or corrupt tail: keep the clean prefix, drop the rest.
+    truncated_bytes_ += file.size() - scan.valid_end;
+    if (::truncate(segment.path.c_str(),
+                   static_cast<off_t>(scan.valid_end)) != 0) {
+      return false;
+    }
+    BFT_LOG(warn) << "wal: truncated " << segment.path << " to "
+                  << scan.valid_end << " bytes ("
+                  << (file.size() - scan.valid_end) << " torn bytes dropped)";
+  }
+  segment.first_cid = scan.first_cid;
+  segment.last_cid = scan.last_cid;
+  segment.size_bytes = scan.valid_end;
+  return true;
+}
+
+Status WriteAheadLog::open_active_segment(std::uint64_t first_cid) {
+  if (active_fd_ >= 0) {
+    if (dirty_ && options_.fsync != FsyncPolicy::off) fsync_active_locked();
+    ::close(active_fd_);
+    active_fd_ = -1;
+  }
+  Segment segment;
+  segment.path = options_.directory + "/" + segment_name(first_cid);
+  active_fd_ = ::open(segment.path.c_str(),
+                      O_CREAT | O_EXCL | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+  if (active_fd_ < 0) {
+    return Status::failure("wal: cannot create " + segment.path + ": " +
+                           std::strerror(errno));
+  }
+  const Status header = write_fully(
+      ByteView(reinterpret_cast<const std::uint8_t*>(kMagic), kMagicSize));
+  if (!header.is_ok()) return header;
+  // Make the new segment name durable before any record relies on it.
+  if (options_.fsync != FsyncPolicy::off && dir_fd_ >= 0) ::fsync(dir_fd_);
+  segment.size_bytes = kMagicSize;
+  segments_.push_back(std::move(segment));
+  return Status::ok();
+}
+
+Status WriteAheadLog::write_fully(ByteView data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(active_fd_, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::failure(std::string("wal: write failed: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status WriteAheadLog::append(std::uint64_t cid, ByteView value) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (cid <= tail_cid_) return Status::ok();  // idempotent re-persist
+
+  if (active_fd_ < 0 ||
+      (!segments_.empty() &&
+       segments_.back().size_bytes >= options_.segment_bytes)) {
+    const Status opened = open_active_segment(cid);
+    if (!opened.is_ok()) return opened;
+  }
+
+  const std::uint32_t payload_len = static_cast<std::uint32_t>(8 + value.size());
+  Bytes frame(kFrameHeader + payload_len);
+  store_u64(frame.data() + kFrameHeader, cid);
+  std::memcpy(frame.data() + kFrameHeader + 8, value.data(), value.size());
+  store_u32(frame.data(), payload_len);
+  store_u32(frame.data() + 4,
+            crc32_ieee(ByteView(frame.data() + kFrameHeader, payload_len)));
+
+  const Status written = write_fully(frame);
+  if (!written.is_ok()) return written;
+
+  Segment& active = segments_.back();
+  active.size_bytes += frame.size();
+  if (active.first_cid == 0) active.first_cid = cid;
+  active.last_cid = cid;
+  tail_cid_ = cid;
+  ++appended_;
+  if (options_.instruments.appends != nullptr) {
+    options_.instruments.appends->add();
+  }
+
+  switch (options_.fsync) {
+    case FsyncPolicy::always:
+      fsync_active_locked();
+      break;
+    case FsyncPolicy::group:
+      dirty_ = true;
+      break;
+    case FsyncPolicy::off:
+      break;
+  }
+  return Status::ok();
+}
+
+void WriteAheadLog::fsync_active_locked() {
+  if (active_fd_ < 0) return;
+  const auto start = std::chrono::steady_clock::now();
+  ::fsync(active_fd_);
+  dirty_ = false;
+  if (options_.instruments.fsync_ns != nullptr) {
+    options_.instruments.fsync_ns->record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+}
+
+void WriteAheadLog::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dirty_ && options_.fsync != FsyncPolicy::off) fsync_active_locked();
+}
+
+void WriteAheadLog::flusher_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    flusher_cv_.wait_for(
+        lock, std::chrono::nanoseconds(options_.group_interval_ns),
+        [this] { return stopping_; });
+    if (stopping_) break;
+    if (!dirty_ || active_fd_ < 0) continue;
+    // Group commit: fsync a dup of the fd outside the lock so appends keep
+    // flowing while the disk syncs. Writes that land after the dup simply
+    // re-mark the log dirty for the next round.
+    const int fd = ::dup(active_fd_);
+    dirty_ = false;
+    lock.unlock();
+    const auto start = std::chrono::steady_clock::now();
+    if (fd >= 0) {
+      ::fsync(fd);
+      ::close(fd);
+    }
+    const std::int64_t elapsed =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (options_.instruments.fsync_ns != nullptr) {
+      options_.instruments.fsync_ns->record(elapsed);
+    }
+    lock.lock();
+  }
+}
+
+std::uint64_t WriteAheadLog::replay(
+    std::uint64_t after,
+    const std::function<void(std::uint64_t, ByteView)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t next = after + 1;
+  std::uint64_t emitted = 0;
+  for (const Segment& segment : segments_) {
+    if (segment.last_cid != 0 && segment.last_cid < next) continue;
+    MappedFile file(segment.path);
+    if (!file.ok() || file.size() < kMagicSize) break;
+    bool stop = false;
+    const std::function<void(std::uint64_t, ByteView)> emit =
+        [&](std::uint64_t cid, ByteView value) {
+          if (stop || cid < next) return;
+          if (cid > next) {  // gap: the rest is unusable
+            stop = true;
+            return;
+          }
+          fn(cid, value);
+          ++next;
+          ++emitted;
+        };
+    scan_frames(file.data(), file.size(), 0, &emit);
+    if (stop) break;
+  }
+  return emitted;
+}
+
+void WriteAheadLog::prune_below(std::uint64_t cid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (segments_.size() > 1) {
+    const Segment& first = segments_.front();
+    if (first.last_cid == 0 || first.last_cid >= cid) break;
+    std::error_code ec;
+    fs::remove(first.path, ec);
+    segments_.erase(segments_.begin());
+  }
+}
+
+std::uint64_t WriteAheadLog::tail_cid() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tail_cid_;
+}
+
+std::uint64_t WriteAheadLog::appended_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+std::size_t WriteAheadLog::segment_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.size();
+}
+
+}  // namespace bft::storage

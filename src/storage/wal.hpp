@@ -1,0 +1,142 @@
+// Append-only write-ahead log of decided consensus values.
+//
+// On-disk layout (see DESIGN.md §9): a directory of segment files named
+// `wal-<first-cid, 20 decimal digits>.seg`. Each segment starts with an
+// 8-byte magic ("BFTWAL1\n") followed by length+CRC32-framed records:
+//
+//   u32 payload_len | u32 crc32(payload) | payload
+//   payload = u64 cid (LE) | value bytes
+//
+// Records carry strictly increasing cids (consecutive on the normal path; a
+// state-transfer jump may leave a gap, which replay treats as the end of the
+// usable prefix). Segments rotate once the active one exceeds
+// `segment_bytes`; whole segments strictly below a persisted checkpoint are
+// pruned.
+//
+// Durability policies:
+//   * always — fsync inline after every append (slow, zero loss window);
+//   * group  — appends only write(); a background flusher thread fsyncs the
+//              active segment every `group_interval_ns` while dirty
+//              (group commit: one fsync amortizes every append in the
+//              window);
+//   * off    — never fsync (page cache only; survives process crashes, not
+//              power loss).
+//
+// Crash recovery: open() scans every segment with mmap-backed sequential
+// reads, validates each frame, and truncates the log at the first torn,
+// corrupt or non-monotonic frame — the clean prefix survives, everything
+// after the break (including later segments) is discarded, and the byte
+// count is reported so operators can see how much a power failure cost.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "obs/metrics.hpp"
+
+namespace bft::storage {
+
+enum class FsyncPolicy : std::uint8_t { always = 0, group = 1, off = 2 };
+
+/// Parses "always" | "group" | "off" (the --fsync flag values).
+Result<FsyncPolicy> parse_fsync_policy(const std::string& name);
+const char* fsync_policy_name(FsyncPolicy policy);
+
+/// Pre-resolved instrument handles (all optional). The owning NodeStore
+/// registers the storage.* names; the WAL only bumps them.
+struct WalInstruments {
+  obs::Counter* appends = nullptr;            // storage.wal_appends
+  obs::LatencyHistogram* fsync_ns = nullptr;  // storage.fsync_ns
+  obs::Counter* truncated_tail = nullptr;     // storage.truncated_tail_bytes
+};
+
+struct WalOptions {
+  std::string directory;               // created if missing
+  std::size_t segment_bytes = 8u << 20;  // rotate past this size
+  FsyncPolicy fsync = FsyncPolicy::group;
+  std::int64_t group_interval_ns = 2'000'000;  // flusher period under `group`
+  WalInstruments instruments;
+};
+
+class WriteAheadLog {
+ public:
+  /// Opens (creating the directory if needed), scans all segments and
+  /// truncates any torn/corrupt tail. Fails on unreadable directories.
+  static Result<std::unique_ptr<WriteAheadLog>> open(WalOptions options);
+
+  /// Joins the flusher (if any) and fsyncs dirty state (unless `off`).
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one decision. Records must arrive in increasing cid order;
+  /// appends at or below the current tail cid are skipped (idempotent
+  /// re-persist after a state transfer). Fails only on I/O errors.
+  Status append(std::uint64_t cid, ByteView value);
+
+  /// Invokes `fn` for every record with cid > `after` that is contiguous
+  /// from `after` (first emitted must be after+1, then +1 each); stops at
+  /// the first gap. Returns the number of records emitted.
+  std::uint64_t replay(
+      std::uint64_t after,
+      const std::function<void(std::uint64_t cid, ByteView value)>& fn) const;
+
+  /// fsync now if anything is unsynced (no-op under `off`).
+  void flush();
+
+  /// Deletes whole segments whose records all have cid < `cid`. The active
+  /// segment is never pruned.
+  void prune_below(std::uint64_t cid);
+
+  /// Highest cid in the log (0 when empty).
+  std::uint64_t tail_cid() const;
+  /// Records accepted by append() in this process lifetime.
+  std::uint64_t appended_records() const;
+  /// Bytes discarded by torn-tail/corruption truncation at open().
+  std::uint64_t truncated_tail_bytes() const { return truncated_bytes_; }
+  std::size_t segment_count() const;
+
+ private:
+  struct Segment {
+    std::string path;
+    std::uint64_t first_cid = 0;  // 0 = header-only (no records yet)
+    std::uint64_t last_cid = 0;
+    std::uint64_t size_bytes = 0;
+  };
+
+  explicit WriteAheadLog(WalOptions options);
+
+  Status scan_on_open();
+  /// Validates one segment file; truncates it at the first bad frame.
+  /// Returns false if the segment is unusable (bad header) — caller deletes.
+  bool scan_segment(Segment& segment, std::uint64_t prev_cid);
+  Status open_active_segment(std::uint64_t first_cid);
+  Status write_fully(ByteView data);
+  void fsync_active_locked();
+  void flusher_main();
+
+  WalOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Segment> segments_;
+  int active_fd_ = -1;
+  int dir_fd_ = -1;
+  std::uint64_t tail_cid_ = 0;
+  std::uint64_t appended_ = 0;
+  std::uint64_t truncated_bytes_ = 0;
+  bool dirty_ = false;
+
+  // Group-commit flusher.
+  std::thread flusher_;
+  std::condition_variable flusher_cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace bft::storage

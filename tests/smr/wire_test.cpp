@@ -191,6 +191,28 @@ TEST(WireTest, StateTransferRoundTrip) {
   EXPECT_EQ(decoded.epoch, 2u);
 }
 
+TEST(WireTest, StateChunkRoundTrip) {
+  StateChunk chunk;
+  chunk.transfer_id = 77;
+  chunk.index = 3;
+  chunk.total = 9;
+  chunk.data = to_bytes("fragment-bytes");
+  const Bytes encoded = encode_state_chunk(chunk);
+  EXPECT_EQ(peek_kind(encoded), MsgKind::state_chunk);
+  const StateChunk decoded = decode_state_chunk(encoded);
+  EXPECT_EQ(decoded.transfer_id, 77u);
+  EXPECT_EQ(decoded.index, 3u);
+  EXPECT_EQ(decoded.total, 9u);
+  EXPECT_EQ(decoded.data, chunk.data);
+
+  const Bytes ack = encode_state_chunk_ack(StateChunkAck{77, 3});
+  EXPECT_EQ(peek_kind(ack), MsgKind::state_chunk_ack);
+  EXPECT_EQ(decode_state_chunk_ack(ack).transfer_id, 77u);
+  EXPECT_EQ(decode_state_chunk_ack(ack).index, 3u);
+  EXPECT_TRUE(kind_known(MsgKind::state_chunk));
+  EXPECT_TRUE(kind_known(MsgKind::state_chunk_ack));
+}
+
 TEST(WireTest, StateReplyDigestIgnoresEpoch) {
   StateReply reply;
   reply.snapshot_cid = 8;
