@@ -9,6 +9,12 @@
 // Flags narrow the sweep: --orderers 4 --block 10 --receivers 1,2,4
 // --sizes 40,1024 --measure-s 1.2 --seed 1
 //
+// --workers N,M adds the staged-pipeline dimension: each panel re-runs with
+// that many prologue workers per ordering node (0 = serial reference path;
+// see DESIGN.md §10). Workers only move cells where the protocol thread is
+// the bound — the 100-envelope/small-payload panels — and leave sign-bound
+// cells unchanged.
+//
 // Unless --metrics-out none, every cell also exports its per-stage latency
 // breakdown (obs registry + trace, schema in OBSERVABILITY.md) and the sweep
 // writes them as a JSON array, one object per cell, default
@@ -39,6 +45,7 @@ std::vector<std::uint64_t> parse_list(const std::string& text) {
 struct SummaryCell {
   std::uint32_t orderers;
   std::size_t block_size;
+  std::uint32_t workers;
   std::uint64_t envelope_size;
   std::uint64_t receivers;
   double throughput_tps;
@@ -46,12 +53,12 @@ struct SummaryCell {
 };
 
 void run_panel(std::uint32_t orderers, std::size_t block_size,
-               const std::vector<std::uint64_t>& sizes,
+               std::uint32_t workers, const std::vector<std::uint64_t>& sizes,
                const std::vector<std::uint64_t>& receivers, double measure_s,
                std::uint64_t seed, std::vector<std::string>* metrics_json,
                std::vector<SummaryCell>* summary) {
-  std::printf("--- %u orderers, %zu envelopes/block ---\n", orderers,
-              block_size);
+  std::printf("--- %u orderers, %zu envelopes/block, %u prologue workers ---\n",
+              orderers, block_size, workers);
   std::printf("%10s |", "env size");
   for (std::uint64_t r : receivers) std::printf("  r=%-8llu", (unsigned long long)r);
   std::printf("   sign-bound (Eq.1)\n");
@@ -66,11 +73,12 @@ void run_panel(std::uint32_t orderers, std::size_t block_size,
       config.receivers = static_cast<std::uint32_t>(r);
       config.measure_s = measure_s;
       config.seed = seed;
+      config.workers = workers;
       config.collect_metrics = metrics_json != nullptr;
       const LanResult result = bench::run_lan_throughput(config);
       if (metrics_json != nullptr) metrics_json->push_back(result.metrics_json);
       if (summary != nullptr) {
-        summary->push_back({orderers, block_size, size, r,
+        summary->push_back({orderers, block_size, workers, size, r,
                             result.throughput_tps, result.sign_bound_tps});
       }
       bound = result.sign_bound_tps;
@@ -91,6 +99,7 @@ int main(int argc, char** argv) {
   const auto block_list = parse_list(flags.get("block", "10,100"));
   const auto sizes = parse_list(flags.get("sizes", "40,200,1024,4096"));
   const auto receivers = parse_list(flags.get("receivers", "1,2,4,8,16,32"));
+  const auto workers_list = parse_list(flags.get("workers", "0"));
   const double measure_s = flags.get_double("measure-s", 1.2);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const std::string metrics_out =
@@ -112,10 +121,12 @@ int main(int argc, char** argv) {
   const bool want_metrics = !metrics_out.empty() && metrics_out != "none";
   for (std::uint64_t n : orderers_list) {
     for (std::uint64_t bs : block_list) {
-      run_panel(static_cast<std::uint32_t>(n), static_cast<std::size_t>(bs),
-                sizes, receivers, measure_s, seed,
-                want_metrics ? &metrics : nullptr,
-                json_out.empty() ? nullptr : &summary);
+      for (std::uint64_t w : workers_list) {
+        run_panel(static_cast<std::uint32_t>(n), static_cast<std::size_t>(bs),
+                  static_cast<std::uint32_t>(w), sizes, receivers, measure_s,
+                  seed, want_metrics ? &metrics : nullptr,
+                  json_out.empty() ? nullptr : &summary);
+      }
     }
   }
   if (!json_out.empty()) {
@@ -129,10 +140,11 @@ int main(int argc, char** argv) {
       const SummaryCell& c = summary[i];
       std::fprintf(out,
                    "  {\"bench\": \"fig7_lan\", \"orderers\": %u, "
-                   "\"block_size\": %zu, \"envelope_bytes\": %llu, "
+                   "\"block_size\": %zu, \"workers\": %u, "
+                   "\"envelope_bytes\": %llu, "
                    "\"receivers\": %llu, \"throughput_tps\": %.0f, "
                    "\"sign_bound_tps\": %.0f}%s\n",
-                   c.orderers, c.block_size,
+                   c.orderers, c.block_size, c.workers,
                    static_cast<unsigned long long>(c.envelope_size),
                    static_cast<unsigned long long>(c.receivers),
                    c.throughput_tps, c.sign_bound_tps,

@@ -8,11 +8,20 @@
 // no propagation delay, so this measures the framing + queue + thread-handoff
 // overhead that sits under every real deployment (DESIGN.md §2b).
 //
+// Every received frame is hash-verified (SHA-256 over the payload, a
+// stand-in for signature verification). --workers 0 (default) verifies
+// inline on the receiver's read thread — the serial reference. --workers N
+// stages the verify through a WorkerPoolRunner: prologue on a worker,
+// ordered epilogue counts the delivery — so the workers columns measure
+// exactly what moving verification off the receive thread buys (and costs,
+// via the reorder handoff) at each payload size.
+//
 //   bench_transport_loopback [--seconds 1.0] [--sizes 40,200,1024,4096]
-//                            [--queue 1024] [--json-out FILE]
+//                            [--queue 1024] [--workers 0] [--json-out FILE]
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +31,8 @@
 #include <unistd.h>
 
 #include "common/cli.hpp"
+#include "crypto/sha256.hpp"
+#include "runtime/runner.hpp"
 #include "runtime/tcp_transport.hpp"
 
 using namespace bft;
@@ -65,11 +76,13 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("queue", 1024));
   const std::vector<std::size_t> sizes =
       parse_sizes(flags.get("sizes", "40,200,1024,4096"));
+  const auto workers = static_cast<std::uint32_t>(flags.get_int("workers", 0));
   const std::string json_out = flags.get("json-out", "");
   if (!flags.unused().empty()) {
     std::fprintf(stderr,
                  "usage: bench_transport_loopback [--seconds S] "
-                 "[--sizes a,b,...] [--queue N] [--json-out FILE]\n%s\n",
+                 "[--sizes a,b,...] [--queue N] [--workers W] "
+                 "[--json-out FILE]\n%s\n",
                  flags.unused().c_str());
     return 2;
   }
@@ -83,8 +96,10 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows;
 
-  std::printf("TcpTransport loopback throughput (%.1f s/size, queue %zu)\n\n",
-              seconds, queue);
+  std::printf(
+      "TcpTransport loopback throughput (%.1f s/size, queue %zu, "
+      "%u prologue workers)\n\n",
+      seconds, queue, workers);
   std::printf("%10s %14s %14s %12s %10s\n", "payload", "sent/s", "delivered/s",
               "goodput", "shed");
 
@@ -101,8 +116,31 @@ int main(int argc, char** argv) {
     runtime::TcpTransport receiver(topology, {1}, options);
 
     std::atomic<std::uint64_t> delivered{0};
-    receiver.start([&delivered](runtime::ProcessId, runtime::ProcessId,
-                                Payload) { delivered.fetch_add(1); });
+    // workers > 0: stage the hash-verify through the runner — prologue on a
+    // worker, ordered epilogue counts the delivery (the same shape
+    // RealCluster uses for inbound envelopes).
+    std::unique_ptr<runtime::WorkerPoolRunner> runner;
+    if (workers > 0) {
+      runtime::WorkerPoolRunnerOptions ro;
+      ro.workers = workers;
+      runner = std::make_unique<runtime::WorkerPoolRunner>(
+          ro, [](runtime::Epilogue epilogue) { epilogue(); });
+    }
+    receiver.start([&delivered, &runner](runtime::ProcessId, runtime::ProcessId,
+                                         Payload payload) {
+      if (runner == nullptr) {
+        // Serial reference: hash-verify inline on the read thread.
+        volatile std::uint8_t sink = crypto::sha256(payload.view())[0];
+        (void)sink;
+        delivered.fetch_add(1);
+        return;
+      }
+      runner->submit([&delivered, payload]() -> runtime::Epilogue {
+        volatile std::uint8_t sink = crypto::sha256(payload.view())[0];
+        (void)sink;
+        return [&delivered] { delivered.fetch_add(1); };
+      });
+    });
     sender.start([](runtime::ProcessId, runtime::ProcessId, Payload) {});
 
     // One shared allocation for every send, as a broadcast would use.
@@ -159,10 +197,11 @@ int main(int argc, char** argv) {
       const Row& r = rows[i];
       std::fprintf(f,
                    "  {\"bench\": \"transport_loopback\", "
-                   "\"payload_bytes\": %zu, \"sent_per_s\": %.0f, "
+                   "\"payload_bytes\": %zu, \"workers\": %u, "
+                   "\"sent_per_s\": %.0f, "
                    "\"delivered_per_s\": %.0f, \"goodput_mb_s\": %.2f, "
                    "\"shed\": %llu}%s\n",
-                   r.payload_bytes, r.sent_per_s, r.delivered_per_s,
+                   r.payload_bytes, workers, r.sent_per_s, r.delivered_per_s,
                    r.goodput_mb_s, static_cast<unsigned long long>(r.shed),
                    i + 1 < rows.size() ? "," : "");
     }

@@ -31,20 +31,24 @@ LanResult run_lan_throughput(const LanConfig& config) {
   if (config.collect_metrics) trace = std::make_unique<obs::TraceRing>(1u << 16);
 
   // --- service ---
-  ordering::ServiceOptions options;
-  for (std::uint32_t i = 0; i < config.orderers; ++i) options.nodes.push_back(i);
-  options.block_size = config.block_size;
-  options.stub_signatures = true;  // calibrated cost model (§6.1)
-  options.double_sign = config.double_sign;
-  options.replica_params.batch_max = config.batch_max;
-  options.replica_params.sign_writes = false;  // MAC-authenticated normal case
-  options.replica_params.forward_timeout = runtime::sec(10);
-  options.replica_params.stop_timeout = runtime::sec(20);
-  options.replica_params.stall_timeout = runtime::sec(10);
-  options.replica_params.checkpoint_period = 1u << 20;  // no checkpoint cost
+  std::vector<ProcessId> node_ids;
+  for (std::uint32_t i = 0; i < config.orderers; ++i) node_ids.push_back(i);
+  smr::ReplicaParams params;
+  params.batch_max = config.batch_max;
+  params.sign_writes = false;  // MAC-authenticated normal case
+  params.forward_timeout = runtime::sec(10);
+  params.stop_timeout = runtime::sec(20);
+  params.stall_timeout = runtime::sec(10);
+  params.checkpoint_period = 1u << 20;  // no checkpoint cost
+  ordering::ServiceOptions options =
+      ordering::ServiceOptions{}
+          .with_nodes(std::move(node_ids))
+          .with_block_size(config.block_size)
+          .with_stub_signatures(true)  // calibrated cost model (§6.1)
+          .with_double_sign(config.double_sign)
+          .with_replica_params(std::move(params));
   if (config.collect_metrics) {
-    options.metrics = &registry;
-    options.trace = trace.get();
+    options.with_metrics(&registry).with_trace(trace.get());
   }
   ordering::Service service = ordering::make_service(options);
 
@@ -72,16 +76,18 @@ LanResult run_lan_throughput(const LanConfig& config) {
   runtime::SimCluster cluster(std::move(network), config.seed);
   if (config.collect_metrics) cluster.set_metrics(&registry);
 
+  sim::CpuConfig node_cpu;
+  node_cpu.prologue_workers = config.workers;
   for (std::size_t i = 0; i < service.nodes.size(); ++i) {
     cluster.add_process(service.cluster.members()[i],
-                        service.nodes[i].replica.get(), sim::CpuConfig{});
+                        service.nodes[i].replica.get(), node_cpu);
   }
 
   // --- receivers (the fan-out targets being measured) ---
   ordering::FrontendOptions receiver_options =
-      ordering::make_frontend_options(service, options);
-  receiver_options.track_latency = false;
-  receiver_options.verify_signatures = config.verify_signatures;
+      ordering::make_frontend_options(service, options)
+          .with_track_latency(false)
+          .with_verify_signatures(config.verify_signatures);
   std::vector<std::unique_ptr<ordering::Frontend>> receivers;
   for (std::uint32_t r = 0; r < config.receivers; ++r) {
     ordering::FrontendOptions ro = receiver_options;
@@ -97,14 +103,14 @@ LanResult run_lan_throughput(const LanConfig& config) {
   }
 
   // --- submitters (do not receive blocks) ---
-  ordering::FrontendOptions submit_options = receiver_options;
-  submit_options.receive_blocks = false;
-  submit_options.verify_signatures = false;
+  ordering::FrontendOptions submit_options =
+      ordering::FrontendOptions(receiver_options)
+          .with_receive_blocks(false)
+          .with_verify_signatures(false);
   if (config.collect_metrics) {
     // Submitters emit the per-envelope kSubmit trace events that anchor the
     // submit->propose stage; their frontend.submitted counters aggregate.
-    submit_options.metrics = &registry;
-    submit_options.trace = trace.get();
+    submit_options.with_metrics(&registry).with_trace(trace.get());
   }
   std::vector<std::unique_ptr<ordering::Frontend>> submitters;
   for (std::uint32_t s = 0; s < config.submitters; ++s) {
@@ -174,6 +180,7 @@ LanResult run_lan_throughput(const LanConfig& config) {
         {"submitters", std::to_string(config.submitters)},
         {"seed", std::to_string(config.seed)},
         {"double_sign", config.double_sign ? "true" : "false"},
+        {"workers", std::to_string(config.workers)},
     };
     const std::map<std::string, double> run{
         {"throughput_tps", result.throughput_tps},
@@ -195,26 +202,27 @@ GeoResult run_geo_latency(const GeoConfig& config) {
   std::unique_ptr<obs::TraceRing> trace;
   if (config.collect_metrics) trace = std::make_unique<obs::TraceRing>(1u << 16);
 
-  ordering::ServiceOptions options;
+  std::vector<ProcessId> node_ids;
   for (std::size_t i = 0; i < topology.node_regions.size(); ++i) {
-    options.nodes.push_back(static_cast<ProcessId>(i));
+    node_ids.push_back(static_cast<ProcessId>(i));
   }
-  if (config.wheat) {
-    if (config.use_weights) {
-      options.vmax_nodes = ordering::paper_wheat_vmax_nodes();
-    }
-    options.replica_params.tentative_execution = config.use_tentative;
+  smr::ReplicaParams params;
+  params.sign_writes = false;
+  params.forward_timeout = runtime::sec(10);
+  params.stop_timeout = runtime::sec(20);
+  params.stall_timeout = runtime::sec(10);
+  params.checkpoint_period = 1u << 20;
+  if (config.wheat) params.tentative_execution = config.use_tentative;
+  ordering::ServiceOptions options = ordering::ServiceOptions{}
+                                         .with_nodes(std::move(node_ids))
+                                         .with_block_size(config.block_size)
+                                         .with_stub_signatures(true)
+                                         .with_replica_params(std::move(params));
+  if (config.wheat && config.use_weights) {
+    options.with_vmax_nodes(ordering::paper_wheat_vmax_nodes());
   }
-  options.block_size = config.block_size;
-  options.stub_signatures = true;
-  options.replica_params.sign_writes = false;
-  options.replica_params.forward_timeout = runtime::sec(10);
-  options.replica_params.stop_timeout = runtime::sec(20);
-  options.replica_params.stall_timeout = runtime::sec(10);
-  options.replica_params.checkpoint_period = 1u << 20;
   if (config.collect_metrics) {
-    options.metrics = &registry;
-    options.trace = trace.get();
+    options.with_metrics(&registry).with_trace(trace.get());
   }
 
   ordering::Service service = ordering::make_service(options);
@@ -237,8 +245,7 @@ GeoResult run_geo_latency(const GeoConfig& config) {
       // Every geo frontend submits and receives, so instrumenting all of them
       // closes the full submit->frontend_accept chain per envelope (the
       // frontend.* counters aggregate across regions).
-      fo.metrics = &registry;
-      fo.trace = trace.get();
+      fo.with_metrics(&registry).with_trace(trace.get());
     }
     frontends.push_back(
         std::make_unique<ordering::Frontend>(service.cluster, fo));

@@ -43,6 +43,13 @@ struct LanConfig {
   /// client-side bandwidth (see EXPERIMENTS.md); the comparison bench uses
   /// this knob to show both readings.
   double client_bandwidth_bps = 125e6;
+  /// Staged-pipeline prologue workers per ordering node (--workers). 0 runs
+  /// the serial reference path: prologue + epilogue charged as one protocol
+  /// job, byte-identical to the pre-pipeline behaviour. N > 0 serves the
+  /// prologue share of every message (wire decode, structural checks,
+  /// signature verification) on N parallel workers with ordered epilogues,
+  /// which moves the Fig. 7 large-block cells off the protocol-thread bound.
+  std::uint32_t workers = 0;
   /// Wire an obs::MetricsRegistry + TraceRing into ordering node 0, the
   /// probe receiver and every submitter, and export the per-stage JSON
   /// breakdown into LanResult::metrics_json. Purely host-side: recording

@@ -2,7 +2,14 @@
 // builds its slice of the service (replica + ordering app + signer) and
 // serves it over TCP until SIGTERM/SIGINT.
 //
-//   bft_node --config cluster4.cfg --id 2 [--block-size 10] [--metrics]
+//   bft_node --config cluster4.cfg --id 2 [--block-size 10] [--workers 2]
+//            [--metrics]
+//
+// --workers N sizes the node's staged-pipeline runner: N pinned workers run
+// message prologues (decode + signature verification) and block signing in
+// parallel, with epilogues applied in submission order on the replica's event
+// loop. 0 selects the serial reference path (everything inline, the
+// pre-pipeline behaviour). See DESIGN.md §10.
 //
 // Launch one per `node` line in the config (see scripts/run_local_cluster.sh
 // for a complete localhost deployment).
@@ -38,6 +45,8 @@ int main(int argc, char** argv) {
   options.replica_params.forward_timeout = runtime::msec(300);
   options.replica_params.stop_timeout = runtime::msec(500);
   const bool want_metrics = flags.get_bool("metrics", false);
+  const auto workers =
+      static_cast<std::size_t>(flags.get_int("workers", 2));
   // Durable storage: on by default so a restarted process resumes its chain
   // from disk. `--data-dir none` runs memory-only (the pre-durability mode).
   const std::string data_dir =
@@ -49,7 +58,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: bft_node --config <topology.cfg> --id <node-id>\n"
                  "               [--block-size N] [--batch-timeout-ms N] "
-                 "[--metrics]\n"
+                 "[--workers N] [--metrics]\n"
                  "               [--data-dir <path>|none] "
                  "[--fsync always|group|off] [--checkpoint N]\n%s\n",
                  flags.unused().c_str());
@@ -89,7 +98,7 @@ int main(int argc, char** argv) {
   runtime::TcpClusterOptions cluster_options;
   cluster_options.metrics = want_metrics ? &metrics : nullptr;
   runtime::TcpCluster cluster(topology, {id}, cluster_options);
-  cluster.add_process(id, single.node.replica.get());
+  cluster.add_process(id, single.node.replica.get(), workers);
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);

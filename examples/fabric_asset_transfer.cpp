@@ -46,9 +46,8 @@ int main() {
   }
   fabric::FabricClient client(300, "channel-0", policy);
 
-  ordering::ServiceOptions options;
-  options.nodes = {0, 1, 2, 3};
-  options.block_size = 2;
+  ordering::ServiceOptions options =
+      ordering::ServiceOptions{}.with_nodes({0, 1, 2, 3}).with_block_size(2);
   ordering::Service service = ordering::make_service(options);
 
   runtime::SimCluster cluster(

@@ -12,11 +12,13 @@
 using namespace bft;
 
 int main() {
-  ordering::ServiceOptions options;
-  options.nodes = {0, 1, 2, 3};
-  options.block_size = 5;
-  options.replica_params.forward_timeout = runtime::msec(300);
-  options.replica_params.stop_timeout = runtime::msec(500);
+  smr::ReplicaParams params;
+  params.forward_timeout = runtime::msec(300);
+  params.stop_timeout = runtime::msec(500);
+  ordering::ServiceOptions options = ordering::ServiceOptions{}
+                                         .with_nodes({0, 1, 2, 3})
+                                         .with_block_size(5)
+                                         .with_replica_params(std::move(params));
 
   ordering::Service service = ordering::make_service(options);
   runtime::SimCluster cluster(

@@ -13,10 +13,11 @@
 using namespace bft;
 
 int main() {
-  ordering::ServiceOptions options;
-  options.nodes = {0, 1, 2, 3};
-  options.block_size = 5;
-  options.batch_timeout = runtime::msec(250);  // flush stragglers via TTC markers
+  ordering::ServiceOptions options =
+      ordering::ServiceOptions{}
+          .with_nodes({0, 1, 2, 3})
+          .with_block_size(5)
+          .with_batch_timeout(runtime::msec(250));  // flush stragglers via TTC
 
   ordering::Service service = ordering::make_service(options);
   runtime::SimCluster cluster(

@@ -15,17 +15,18 @@ using namespace bft;
 int main() {
   // 1. Describe the service: four ordering nodes (f = 1), ten envelopes per
   //    block, real ECDSA block signatures.
-  ordering::ServiceOptions options;
-  options.nodes = {0, 1, 2, 3};
-  options.block_size = 10;
+  const ordering::ServiceOptions options =
+      ordering::ServiceOptions{}.with_nodes({0, 1, 2, 3}).with_block_size(10);
 
   ordering::Service service = ordering::make_service(options);
 
-  // 2. Register every node's replica with the threaded runtime.
+  // 2. Register every node's replica with the threaded runtime. Each node
+  //    gets a 4-worker staged-pipeline runner (prologue verification + block
+  //    signing off the event loop, epilogues in order).
   runtime::RealCluster cluster;
   for (std::size_t i = 0; i < service.nodes.size(); ++i) {
     cluster.add_process(service.cluster.members()[i],
-                        service.nodes[i].replica.get(), /*signing workers=*/4);
+                        service.nodes[i].replica.get(), /*workers=*/4);
   }
 
   // 3. A frontend (process 100) that commits delivered blocks to a local

@@ -5,8 +5,8 @@
 # Checked surfaces:
 #   * metric names registered in src/ or bench/ — matched by their namespaced
 #     quoted form ("smr.x", "ordering.x", "frontend.x", "consensus.x",
-#     "sim.x", "runtime.x", "transport.x", "storage.x"), which survives
-#     line-wrapped registry calls. Test-only fake names (tests/) are
+#     "sim.x", "runtime.x", "runner.x", "transport.x", "storage.x"), which
+#     survives line-wrapped registry calls. Test-only fake names (tests/) are
 #     deliberately out of scope.
 #   * the eight trace stage names from obs::trace_stage_name.
 #
@@ -22,7 +22,7 @@ if [ ! -f "$doc" ]; then
   exit 1
 fi
 
-names="$(grep -rhoE '"(smr|ordering|frontend|consensus|sim|runtime|transport|storage)\.[a-z0-9_]+"' \
+names="$(grep -rhoE '"(smr|ordering|frontend|consensus|sim|runtime|runner|transport|storage)\.[a-z0-9_]+"' \
   "$repo/src" "$repo/bench" | tr -d '"' | sort -u)"
 if [ -z "$names" ]; then
   echo "docs_lint: found no registered metric names under src/ or bench/"

@@ -38,6 +38,67 @@ struct ServiceOptions {
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRing* trace = nullptr;
   runtime::ProcessId metrics_node = 0;
+
+  // --- chainable setters (preferred construction style) ---
+  // Assemble options fluently and pass the result straight to make_service:
+  //   make_service(ServiceOptions{}
+  //                    .with_nodes({0, 1, 2, 3})
+  //                    .with_block_size(100)
+  //                    .with_stub_signatures(true));
+  // Assigning fields one statement at a time still compiles (the struct stays
+  // an aggregate) but is deprecated for new call sites — the chain keeps the
+  // whole configuration in one expression and reads like the deployment it
+  // describes.
+  ServiceOptions& with_nodes(std::vector<runtime::ProcessId> v) {
+    nodes = std::move(v);
+    return *this;
+  }
+  ServiceOptions& with_vmax_nodes(std::set<runtime::ProcessId> v) {
+    vmax_nodes = std::move(v);
+    return *this;
+  }
+  ServiceOptions& with_channel(std::string v) {
+    channel = std::move(v);
+    return *this;
+  }
+  ServiceOptions& with_block_size(std::size_t v) {
+    block_size = v;
+    return *this;
+  }
+  ServiceOptions& with_batch_timeout(runtime::Duration v) {
+    batch_timeout = v;
+    return *this;
+  }
+  ServiceOptions& with_replica_params(smr::ReplicaParams v) {
+    replica_params = std::move(v);
+    return *this;
+  }
+  ServiceOptions& with_stub_signatures(bool v) {
+    stub_signatures = v;
+    return *this;
+  }
+  ServiceOptions& with_signature_cost(runtime::Duration v) {
+    signature_cost = v;
+    return *this;
+  }
+  ServiceOptions& with_double_sign(bool v) {
+    double_sign = v;
+    return *this;
+  }
+  ServiceOptions& with_corrupt_signers(std::set<runtime::ProcessId> v) {
+    corrupt_signers = std::move(v);
+    return *this;
+  }
+  ServiceOptions& with_metrics(obs::MetricsRegistry* reg,
+                               runtime::ProcessId node = 0) {
+    metrics = reg;
+    metrics_node = node;
+    return *this;
+  }
+  ServiceOptions& with_trace(obs::TraceRing* ring) {
+    trace = ring;
+    return *this;
+  }
 };
 
 /// One ordering node and its replica, wired together.

@@ -79,7 +79,40 @@ bool Frontend::quorum_reached(const Tally& tally) const {
   return tally.senders.size() >= needed;
 }
 
+runtime::Verified Frontend::prologue(runtime::ProcessId from,
+                                     Payload payload) const {
+  runtime::Verified v;
+  v.from = from;
+  v.payload = std::move(payload);
+  if (!options_.verify_signatures || options_.verifier == nullptr ||
+      !cluster_.contains(from)) {
+    return v;  // nothing offloadable; consume() handles everything
+  }
+  try {
+    const ByteView view = v.payload.view();
+    if (smr::peek_kind(view) != smr::MsgKind::push) return v;
+    const SignedBlock sb = SignedBlock::decode(smr::decode_push(view));
+    if (sb.channel != options_.channel) return v;
+    v.auth = options_.verifier->verify(from, sb.block.header.digest(),
+                                       sb.signature)
+                 ? runtime::Verified::Auth::accepted
+                 : runtime::Verified::Auth::rejected;
+  } catch (const DecodeError&) {
+    // Malformed: consume() re-decodes and emits the diagnostic.
+  }
+  return v;
+}
+
+void Frontend::consume(runtime::Verified&& verified) {
+  dispatch(verified.from, verified.payload.view(), verified.auth);
+}
+
 void Frontend::on_message(runtime::ProcessId from, ByteView payload) {
+  dispatch(from, payload, runtime::Verified::Auth::unchecked);
+}
+
+void Frontend::dispatch(runtime::ProcessId from, ByteView payload,
+                        runtime::Verified::Auth auth) {
   if (!cluster_.contains(from)) return;
   SignedBlock sb;
   try {
@@ -99,7 +132,10 @@ void Frontend::on_message(runtime::ProcessId from, ByteView payload) {
   }
 
   if (options_.verify_signatures &&
-      !options_.verifier->verify(from, sb.block.header.digest(), sb.signature)) {
+      auth != runtime::Verified::Auth::accepted &&
+      (auth == runtime::Verified::Auth::rejected ||
+       !options_.verifier->verify(from, sb.block.header.digest(),
+                                  sb.signature))) {
     BFT_LOG(warn) << "frontend " << env().self() << ": bad block signature from "
                   << from;
     return;

@@ -43,6 +43,54 @@ struct FrontendOptions {
   /// then aggregate. See OBSERVABILITY.md.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRing* trace = nullptr;
+
+  // --- chainable setters (preferred construction style) ---
+  // Usually seeded from make_frontend_options(...) and then refined:
+  //   Frontend f(cluster, make_frontend_options(service, opts)
+  //                           .with_track_latency(false)
+  //                           .with_receive_blocks(false));
+  // Direct field assignment still compiles but is deprecated for new call
+  // sites; see the matching note on ordering::ServiceOptions.
+  FrontendOptions& with_channel(std::string v) {
+    channel = std::move(v);
+    return *this;
+  }
+  FrontendOptions& with_verify_signatures(bool v) {
+    verify_signatures = v;
+    return *this;
+  }
+  FrontendOptions& with_weighted_quorum(bool v) {
+    weighted_quorum = v;
+    return *this;
+  }
+  FrontendOptions& with_verifier(std::shared_ptr<BlockSigner> v) {
+    verifier = std::move(v);
+    return *this;
+  }
+  FrontendOptions& with_deliver_in_order(bool v) {
+    deliver_in_order = v;
+    return *this;
+  }
+  FrontendOptions& with_track_latency(bool v) {
+    track_latency = v;
+    return *this;
+  }
+  FrontendOptions& with_receive_blocks(bool v) {
+    receive_blocks = v;
+    return *this;
+  }
+  FrontendOptions& with_required_copies(std::size_t v) {
+    required_copies = v;
+    return *this;
+  }
+  FrontendOptions& with_metrics(obs::MetricsRegistry* reg) {
+    metrics = reg;
+    return *this;
+  }
+  FrontendOptions& with_trace(obs::TraceRing* ring) {
+    trace = ring;
+    return *this;
+  }
 };
 
 class Frontend : public runtime::Actor {
@@ -53,6 +101,13 @@ class Frontend : public runtime::Actor {
            BlockCallback on_block = nullptr);
 
   void on_start(runtime::Env& env) override;
+  /// Staged-pipeline phase 1 (thread-safe, const): pre-verifies the block
+  /// signature of a push through the shared verifier when verify_signatures
+  /// is on, so the ECDSA check runs on a runner worker. Reads only
+  /// construction-time state (options_, cluster_).
+  runtime::Verified prologue(runtime::ProcessId from,
+                             Payload payload) const override;
+  void consume(runtime::Verified&& verified) override;
   void on_message(runtime::ProcessId from, ByteView payload) override;
   void on_timer(std::uint64_t) override {}
 
@@ -79,6 +134,8 @@ class Frontend : public runtime::Actor {
 
   bool quorum_reached(const Tally& tally) const;
   void deliver(const ledger::Block& block);
+  void dispatch(runtime::ProcessId from, ByteView payload,
+                runtime::Verified::Auth auth);
 
   smr::ClusterConfig cluster_;
   FrontendOptions options_;

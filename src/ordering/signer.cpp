@@ -2,24 +2,25 @@
 
 #include <stdexcept>
 
-#include "smr/replica.hpp"
+#include "common/serial.hpp"
 
 namespace bft::ordering {
 
 EcdsaBlockSigner::EcdsaBlockSigner(runtime::ProcessId node,
                                    runtime::Duration cost_hint)
-    : key_(smr::process_signing_key(node)), cost_hint_(cost_hint) {}
+    : node_(node),
+      auth_(crypto::make_process_authenticator(node)),
+      cost_hint_(cost_hint) {}
 
 Bytes EcdsaBlockSigner::sign(const crypto::Hash256& header_digest) const {
-  return key_.sign(header_digest).to_bytes();
+  // Broadcast signature: the ECDSA backend ignores the counterparty id.
+  return auth_->sign_for(node_, header_digest);
 }
 
 bool EcdsaBlockSigner::verify(runtime::ProcessId signer,
                               const crypto::Hash256& header_digest,
                               ByteView signature) const {
-  const auto sig = crypto::Signature::from_bytes(signature);
-  if (!sig.ok()) return false;
-  return smr::process_public_key(signer).verify(header_digest, sig.value());
+  return auth_->verify_from(signer, header_digest, signature);
 }
 
 CorruptingBlockSigner::CorruptingBlockSigner(std::shared_ptr<BlockSigner> inner)

@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "crypto/authenticator.hpp"
 #include "crypto/ecdsa.hpp"
 #include "runtime/actor.hpp"
 
@@ -34,6 +35,9 @@ class BlockSigner {
 };
 
 /// Real ECDSA over secp256k1 with the node's deterministic process key.
+/// A thin adapter over crypto::Authenticator: block signatures are broadcast
+/// (no single counterparty), which the peer-agnostic ECDSA backend supports
+/// directly. See crypto/authenticator.hpp.
 class EcdsaBlockSigner final : public BlockSigner {
  public:
   /// `node` is the signing node's process id; `cost_hint` defaults to the
@@ -47,7 +51,8 @@ class EcdsaBlockSigner final : public BlockSigner {
   runtime::Duration cost_hint() const override { return cost_hint_; }
 
  private:
-  crypto::PrivateKey key_;
+  runtime::ProcessId node_;
+  std::shared_ptr<const crypto::Authenticator> auth_;
   runtime::Duration cost_hint_;
 };
 

@@ -66,14 +66,79 @@ class Env {
   virtual Rng& rng() = 0;
 };
 
+/// Output of the prologue phase: the message plus everything the thread-safe
+/// classification/verification pass established about it. Runtimes carry it
+/// from Actor::prologue to Actor::consume; the ordered-epilogue machinery
+/// (runner.hpp) guarantees consume order == arrival order even when
+/// prologues run concurrently.
+struct Verified {
+  ProcessId from = 0;
+  Payload payload;
+
+  /// Verdict of any signature checks the prologue performed.
+  enum class Auth : std::uint8_t {
+    /// The prologue did not check a signature (none present, or the actor
+    /// uses the default pass-through prologue): consume() must run its own
+    /// inline verification exactly as the single-phase path did.
+    unchecked = 0,
+    accepted,  // verified; consume() may skip the inline re-check
+    rejected,  // verification failed; consume() drops with a diagnostic
+  };
+  Auth auth = Auth::unchecked;
+
+  /// Simulated CPU cost of the prologue work (decode + verify). The
+  /// simulated runtime charges it to the prologue worker servers when the
+  /// process models `prologue_workers > 0`; the real runtime ignores it.
+  Duration prologue_cost = 0;
+  /// Set by the runtime: how much of the handler's cost it already charged
+  /// on the actor's behalf (the offloaded prologue share). consume() must
+  /// subtract this from its own charge so totals match the serial path.
+  Duration prologue_charged = 0;
+};
+
 /// A reactive protocol participant.
+///
+/// Message handling is a two-phase API driven identically by the simulated,
+/// threaded and TCP runtimes:
+///
+///   1. prologue(from, payload) — const and thread-safe; classify the
+///      message and perform any signature verification that needs no actor
+///      state. May run concurrently with consume() and with other prologues.
+///   2. consume(Verified&&) — single-threaded, in protocol order; all state
+///      mutation happens here.
+///
+/// Actors that never verify anything in parallel just implement on_message:
+/// the default prologue passes the payload through unchecked and the default
+/// consume delegates to on_message, which is exactly the old single-phase
+/// behavior.
 class Actor {
  public:
   virtual ~Actor() = default;
 
   /// Called once before any message/timer, with the permanently valid env.
   virtual void on_start(Env& env) { env_ = &env; }
-  virtual void on_message(ProcessId from, ByteView payload) = 0;
+
+  /// Phase 1 of message handling. Must not touch mutable actor state, the
+  /// Env, or anything else that races with consume()/on_timer().
+  virtual Verified prologue(ProcessId from, Payload payload) const {
+    Verified v;
+    v.from = from;
+    v.payload = std::move(payload);
+    return v;
+  }
+
+  /// Phase 2 of message handling; runs on the home thread in arrival order.
+  virtual void consume(Verified&& verified) {
+    on_message(verified.from, verified.payload.view());
+  }
+
+  /// Legacy single-phase handler; still the easiest way to write an actor
+  /// with no parallel-verification needs (the default consume() lands here).
+  virtual void on_message(ProcessId from, ByteView payload) {
+    (void)from;
+    (void)payload;
+  }
+
   virtual void on_timer(std::uint64_t timer_id) = 0;
   /// Called when the runtime resurrects this process after a crash fault.
   /// Every timer and in-flight worker completion set before the crash is

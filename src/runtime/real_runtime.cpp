@@ -12,7 +12,14 @@ struct RealCluster::Process {
   Actor* actor = nullptr;
   std::unique_ptr<ProcessEnv> env;
   BlockingQueue<std::function<void()>> inbox;
-  std::unique_ptr<ThreadPool> workers;
+  /// Staged crypto pipeline: message prologues and submit_work jobs run on
+  /// its workers; ordered epilogues land back in `inbox` as control items.
+  /// Null when the process runs serially (worker_threads == 0).
+  std::unique_ptr<Runner> runner;
+  std::size_t runner_workers = 0;
+  /// Prologues submitted to the runner but not yet finished — the staged
+  /// half of the admission bound (the inbox bounds the epilogue half).
+  std::atomic<std::uint64_t> staged{0};
   Rng rng{0};
   std::atomic<bool> crashed{false};
   std::atomic<std::uint64_t> next_timer_id{1};
@@ -58,14 +65,23 @@ class RealCluster::ProcessEnv final : public Env {
   void submit_work(Duration cost_hint, std::function<Bytes()> work,
                    std::function<void(Bytes)> done) override {
     (void)cost_hint;  // real work takes real time
-    proc_.workers->submit(
-        [this, work = std::move(work), done = std::move(done)]() mutable {
+    if (proc_.runner == nullptr) {
+      // Serial reference mode: the work blocks the event loop, exactly the
+      // single-threaded execution the sim's --workers 0 models.
+      Bytes result = work();
+      done(std::move(result));
+      return;
+    }
+    // Staged: the work is a prologue, the completion its ordered epilogue —
+    // two signatures submitted back-to-back finish in submission order even
+    // if the second worker is faster.
+    proc_.runner->submit(
+        [work = std::move(work), done = std::move(done)]() mutable -> Epilogue {
           Bytes result = work();
-          cluster_.enqueue(id_,
-                           [done = std::move(done),
-                            result = std::move(result)]() mutable {
-                             done(std::move(result));
-                           });
+          return [done = std::move(done),
+                  result = std::move(result)]() mutable {
+            done(std::move(result));
+          };
         });
   }
 
@@ -88,6 +104,7 @@ RealCluster::RealCluster(RealClusterOptions options)
         "runtime.inbox_depth", "depth of the most recently written inbox");
     inbox_dropped_counter_ = &options_.metrics->counter(
         "runtime.inbox_dropped", "messages shed by full bounded inboxes");
+    runner_metrics_ = RunnerMetrics::registered(*options_.metrics);
   }
 }
 
@@ -105,7 +122,20 @@ void RealCluster::add_process(ProcessId id, Actor* actor,
   auto proc = std::make_unique<Process>(options_.inbox_capacity);
   proc->actor = actor;
   proc->env = std::make_unique<ProcessEnv>(*this, id, *proc);
-  proc->workers = std::make_unique<ThreadPool>(std::max<std::size_t>(1, worker_threads));
+  proc->runner_workers = worker_threads;
+  if (worker_threads > 0) {
+    WorkerPoolRunnerOptions runner_options;
+    runner_options.workers = worker_threads;
+    runner_options.first_core = options_.runner_first_core;
+    runner_options.metrics = runner_metrics_;
+    // Epilogues enter the inbox as control items: the sink is invoked in
+    // sequence order and the inbox is FIFO, so consume order == arrival
+    // order even though prologues complete on arbitrary workers.
+    proc->runner = std::make_unique<WorkerPoolRunner>(
+        runner_options, [this, id](Epilogue epilogue) {
+          enqueue(id, std::move(epilogue), /*droppable=*/false);
+        });
+  }
   proc->rng = Rng(0x5eed0000 + id);
   processes_.emplace(id, std::move(proc));
 }
@@ -133,11 +163,11 @@ void RealCluster::stop() {
   }
   timer_cv_.notify_all();
   if (timer_thread_.joinable()) timer_thread_.join();
-  // Drain worker pools first so their completions can still enqueue, then
-  // close inboxes and join loops.
+  // Drain the staged runners first so in-flight prologues can still sink
+  // their epilogues, then close inboxes and join loops.
   for (auto& [id, proc] : processes_) {
     (void)id;
-    proc->workers->drain();
+    if (proc->runner != nullptr) proc->runner->drain();
   }
   for (auto& [id, proc] : processes_) {
     (void)id;
@@ -166,13 +196,44 @@ void RealCluster::send_external(ProcessId from, ProcessId to, Payload payload) {
 }
 
 void RealCluster::deliver_local(ProcessId from, ProcessId to, Payload payload) {
-  if (processes_.count(to) == 0) return;  // not hosted here: drop
-  enqueue(
-      to,
-      [this, from, to, payload = std::move(payload)]() {
-        processes_.at(to)->actor->on_message(from, payload.view());
-      },
-      /*droppable=*/true);
+  const auto it = processes_.find(to);
+  if (it == processes_.end()) return;  // not hosted here: drop
+  Process& proc = *it->second;
+  if (proc.runner == nullptr) {
+    // Serial reference path: prologue + consume back-to-back on the event
+    // loop — the exact old single-phase semantics, including droppability.
+    Actor* actor = proc.actor;
+    enqueue(
+        to,
+        [actor, from, payload = std::move(payload)]() mutable {
+          actor->consume(actor->prologue(from, std::move(payload)));
+        },
+        /*droppable=*/true);
+    return;
+  }
+  // Staged path. Message deliveries stay best-effort: the runner queue is
+  // admission-bounded like the inbox, so a flood sheds here instead of
+  // growing the prologue backlog without bound.
+  if (proc.crashed.load(std::memory_order_relaxed)) return;
+  if (options_.inbox_capacity != 0 &&
+      proc.staged.load(std::memory_order_relaxed) >= options_.inbox_capacity) {
+    inbox_dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (inbox_dropped_counter_ != nullptr) inbox_dropped_counter_->add();
+    return;
+  }
+  proc.staged.fetch_add(1, std::memory_order_relaxed);
+  Process* p = &proc;
+  Actor* actor = proc.actor;
+  proc.runner->submit(
+      [p, actor, from, payload = std::move(payload)]() mutable -> Epilogue {
+        // Decrement before the prologue so a throwing prologue (contained by
+        // the runner) cannot leak admission slots.
+        p->staged.fetch_sub(1, std::memory_order_relaxed);
+        Verified v = actor->prologue(from, std::move(payload));
+        return [actor, v = std::move(v)]() mutable {
+          actor->consume(std::move(v));
+        };
+      });
 }
 
 void RealCluster::post(ProcessId to, std::function<void()> fn) {

@@ -22,9 +22,9 @@
 
 #include "obs/metrics.hpp"
 #include "runtime/actor.hpp"
+#include "runtime/runner.hpp"
 #include "runtime/transport.hpp"
 #include "util/queue.hpp"
-#include "util/threadpool.hpp"
 
 namespace bft::runtime {
 
@@ -39,8 +39,13 @@ struct RealClusterOptions {
   /// routes its inbound frames to deliver_local().
   Transport* transport = nullptr;
   /// Optional observability registry (borrowed). Registers
-  /// runtime.inbox_depth / runtime.inbox_dropped; see OBSERVABILITY.md.
+  /// runtime.inbox_depth / runtime.inbox_dropped plus the runner.* staged
+  /// pipeline table; see OBSERVABILITY.md.
   obs::MetricsRegistry* metrics = nullptr;
+  /// When >= 0, each process's prologue workers are pinned starting at this
+  /// CPU core (worker i of every runner -> core first_core + i, mod the
+  /// hardware concurrency). -1 leaves placement to the OS.
+  int runner_first_core = -1;
 };
 
 class RealCluster {
@@ -52,8 +57,13 @@ class RealCluster {
   RealCluster(const RealCluster&) = delete;
   RealCluster& operator=(const RealCluster&) = delete;
 
-  /// Registers an actor (not owned) with `worker_threads` signing workers.
-  /// Must be called before start().
+  /// Registers an actor (not owned) with a `worker_threads`-wide staged
+  /// runner (runner.hpp): message prologues (Actor::prologue — signature
+  /// verification) and submit_work jobs (block signing) run concurrently on
+  /// the workers while epilogues/completions apply on the event loop in
+  /// submission order. `worker_threads == 0` selects the serial reference
+  /// path: prologue + consume inline on the event loop, submit_work inline
+  /// at the call site. Must be called before start().
   void add_process(ProcessId id, Actor* actor, std::size_t worker_threads = 2);
 
   /// Spawns all event loops; each actor's on_start runs on its own loop.
@@ -117,6 +127,7 @@ class RealCluster {
   std::atomic<std::uint64_t> inbox_dropped_{0};
   obs::Gauge* inbox_depth_gauge_ = nullptr;    // deepest local inbox
   obs::Counter* inbox_dropped_counter_ = nullptr;
+  RunnerMetrics runner_metrics_;  // shared across all hosted runners
 
   std::mutex timer_mutex_;
   std::condition_variable timer_cv_;

@@ -1,0 +1,170 @@
+#include "runtime/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace bft::runtime {
+
+void SerialRunner::submit(Prologue prologue) {
+  Epilogue epilogue;
+  try {
+    epilogue = prologue();
+  } catch (...) {
+    // Same containment contract as the pool: a throwing prologue consumes
+    // its slot and contributes no epilogue.
+  }
+  if (epilogue) sink_(std::move(epilogue));
+}
+
+RunnerMetrics RunnerMetrics::registered(obs::MetricsRegistry& registry) {
+  RunnerMetrics m;
+  m.queue_depth =
+      &registry.gauge("runner.queue_depth", "staged prologues not yet picked up by a worker");
+  m.workers = &registry.gauge("runner.workers", "prologue worker threads per runner");
+  m.prologues = &registry.counter("runner.prologues", "prologues executed");
+  m.prologue_exceptions = &registry.counter(
+      "runner.prologue_exceptions", "prologues that threw (contained; slot advanced)");
+  m.worker_busy_ns = &registry.counter(
+      "runner.worker_busy_ns", "total worker time spent inside prologues "
+      "(utilization = busy_ns / (workers * wall))");
+  m.prologue_ns =
+      &registry.histogram("runner.prologue_ns", "ns", "prologue execution latency");
+  m.reorder_wait_ns = &registry.histogram(
+      "runner.reorder_wait_ns", "ns",
+      "time a completed epilogue waited for earlier sequence numbers");
+  return m;
+}
+
+WorkerPoolRunner::WorkerPoolRunner(WorkerPoolRunnerOptions options,
+                                   EpilogueSink sink)
+    : options_(options), sink_(std::move(sink)) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.metrics.workers != nullptr) {
+    options_.metrics.workers->set(
+        static_cast<std::int64_t>(options_.workers));
+  }
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+#if defined(__linux__)
+    if (options_.first_core >= 0) {
+      const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET((static_cast<unsigned>(options_.first_core) + i) % cores, &set);
+      // Best-effort: a restricted affinity mask (cgroups) may reject the
+      // core; the worker then keeps the inherited mask.
+      (void)pthread_setaffinity_np(workers_.back().native_handle(),
+                                   sizeof(set), &set);
+    }
+#endif
+  }
+}
+
+WorkerPoolRunner::~WorkerPoolRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void WorkerPoolRunner::submit(Prologue prologue) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(Staged{next_submit_seq_++, std::move(prologue)});
+    if (options_.metrics.queue_depth != nullptr) {
+      options_.metrics.queue_depth->set(
+          static_cast<std::int64_t>(pending_.size()));
+    }
+  }
+  work_cv_.notify_one();
+}
+
+void WorkerPoolRunner::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [this] {
+    return next_release_seq_ == next_submit_seq_ && !releasing_;
+  });
+}
+
+void WorkerPoolRunner::worker_loop(std::size_t) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+    if (stopping_) return;  // unrun prologues are abandoned; see stop contract
+    Staged staged = std::move(pending_.front());
+    pending_.pop_front();
+    if (options_.metrics.queue_depth != nullptr) {
+      options_.metrics.queue_depth->set(
+          static_cast<std::int64_t>(pending_.size()));
+    }
+    lock.unlock();
+
+    const std::int64_t start = steady_ns();
+    Epilogue epilogue;
+    try {
+      epilogue = staged.prologue();
+    } catch (...) {
+      if (options_.metrics.prologue_exceptions != nullptr) {
+        options_.metrics.prologue_exceptions->add();
+      }
+    }
+    const std::int64_t done = steady_ns();
+    if (options_.metrics.prologues != nullptr) options_.metrics.prologues->add();
+    if (options_.metrics.worker_busy_ns != nullptr) {
+      options_.metrics.worker_busy_ns->add(
+          static_cast<std::uint64_t>(done - start));
+    }
+    if (options_.metrics.prologue_ns != nullptr) {
+      options_.metrics.prologue_ns->record(
+          static_cast<std::uint64_t>(done - start));
+    }
+
+    lock.lock();
+    reorder_.emplace(staged.seq, Ready{std::move(epilogue), done});
+    release_ready(lock);
+  }
+}
+
+void WorkerPoolRunner::release_ready(std::unique_lock<std::mutex>& lock) {
+  if (releasing_) return;  // the active releaser will pick up our entry
+  releasing_ = true;
+  auto it = reorder_.find(next_release_seq_);
+  while (it != reorder_.end()) {
+    Ready ready = std::move(it->second);
+    reorder_.erase(it);
+    ++next_release_seq_;
+    lock.unlock();
+    if (options_.metrics.reorder_wait_ns != nullptr) {
+      const std::int64_t waited = steady_ns() - ready.completed_ns;
+      options_.metrics.reorder_wait_ns->record(
+          static_cast<std::uint64_t>(waited > 0 ? waited : 0));
+    }
+    // Sink outside the lock so a momentarily blocked sink (a full inbox the
+    // home loop is still draining) does not stall the workers; `releasing_`
+    // keeps sink order == sequence order.
+    if (ready.epilogue) sink_(std::move(ready.epilogue));
+    lock.lock();
+    it = reorder_.find(next_release_seq_);
+  }
+  releasing_ = false;
+  drain_cv_.notify_all();
+}
+
+std::int64_t WorkerPoolRunner::steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace bft::runtime

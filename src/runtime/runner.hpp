@@ -1,0 +1,154 @@
+// Staged execution runner: the dsnet SpinOrderedRunner/CTPLOrderedRunner
+// pattern. Crypto-heavy message handling is split into two phases:
+//
+//   * prologue — thread-safe, state-free classification + signature
+//     verification. May run concurrently on any worker thread.
+//   * epilogue — all state mutation. Must apply in submission order, on the
+//     home (event-loop) thread, so protocol order is exactly what it would
+//     be under single-threaded execution.
+//
+// A Prologue returns its Epilogue; the runner guarantees epilogues are handed
+// to the sink in submission (sequence-number) order no matter how workers
+// interleave. Two implementations:
+//
+//   * SerialRunner — runs the prologue inline and sinks the epilogue
+//     immediately. The deterministic reference: `--workers 0` everywhere.
+//   * WorkerPoolRunner — N pinned worker threads run prologues concurrently;
+//     a sequence-numbered reorder buffer releases epilogues in order.
+//
+// See DESIGN.md §10 for the pipeline diagram and OBSERVABILITY.md for the
+// runner.* metric catalogue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace bft::runtime {
+
+/// Ordered state-mutation phase; runs on the home thread via the sink.
+using Epilogue = std::function<void()>;
+/// Thread-safe verification phase; returns the epilogue to apply (an empty
+/// Epilogue means "nothing to do", but still consumes a sequence slot).
+using Prologue = std::function<Epilogue()>;
+/// Hands a released epilogue to the home thread. The runner calls the sink
+/// from at most one thread at a time, in strict submission order, so a sink
+/// that appends to a FIFO (an event-loop inbox) preserves protocol order.
+using EpilogueSink = std::function<void(Epilogue)>;
+
+class Runner {
+ public:
+  virtual ~Runner() = default;
+
+  /// Stages one prologue. Thread-safe; the sequence slot is taken at call
+  /// time, so per-caller submission order is per-caller epilogue order.
+  virtual void submit(Prologue prologue) = 0;
+
+  /// Blocks until every submitted prologue has run and its epilogue has been
+  /// handed to the sink.
+  virtual void drain() = 0;
+
+  /// Number of concurrent prologue workers (0 for the serial runner).
+  virtual std::size_t worker_count() const = 0;
+};
+
+/// Deterministic reference implementation: prologue inline on the submitting
+/// thread, epilogue sunk before submit() returns.
+class SerialRunner final : public Runner {
+ public:
+  explicit SerialRunner(EpilogueSink sink) : sink_(std::move(sink)) {}
+
+  void submit(Prologue prologue) override;
+  void drain() override {}
+  std::size_t worker_count() const override { return 0; }
+
+ private:
+  EpilogueSink sink_;
+};
+
+/// Aggregate runner.* instrumentation, shareable across runner instances
+/// (RealCluster registers one set for all hosted processes). All pointers
+/// may be null (uninstrumented).
+struct RunnerMetrics {
+  obs::Gauge* queue_depth = nullptr;         // runner.queue_depth
+  obs::Gauge* workers = nullptr;             // runner.workers
+  obs::Counter* prologues = nullptr;         // runner.prologues
+  obs::Counter* prologue_exceptions = nullptr;  // runner.prologue_exceptions
+  obs::Counter* worker_busy_ns = nullptr;    // runner.worker_busy_ns
+  obs::LatencyHistogram* prologue_ns = nullptr;      // runner.prologue_ns
+  obs::LatencyHistogram* reorder_wait_ns = nullptr;  // runner.reorder_wait_ns
+
+  /// Registers the full runner.* table in `registry` (names documented in
+  /// OBSERVABILITY.md).
+  static RunnerMetrics registered(obs::MetricsRegistry& registry);
+};
+
+struct WorkerPoolRunnerOptions {
+  std::size_t workers = 2;
+  /// When >= 0, worker i is pinned to CPU core (first_core + i) modulo the
+  /// hardware concurrency (Linux only; a no-op elsewhere).
+  int first_core = -1;
+  RunnerMetrics metrics;
+};
+
+/// Pool of pinned workers running prologues concurrently. Epilogues enter a
+/// sequence-numbered reorder buffer and are released to the sink in exactly
+/// the order their prologues were submitted — an adversarial completion
+/// order (slow seq 3, instant seq 4) never reorders state mutation.
+///
+/// A throwing prologue is contained: the exception is swallowed (counted in
+/// runner.prologue_exceptions) and the slot's epilogue becomes a no-op, so
+/// the sequence keeps advancing and later epilogues still release.
+class WorkerPoolRunner final : public Runner {
+ public:
+  WorkerPoolRunner(WorkerPoolRunnerOptions options, EpilogueSink sink);
+  ~WorkerPoolRunner() override;
+
+  WorkerPoolRunner(const WorkerPoolRunner&) = delete;
+  WorkerPoolRunner& operator=(const WorkerPoolRunner&) = delete;
+
+  void submit(Prologue prologue) override;
+  void drain() override;
+  std::size_t worker_count() const override { return options_.workers; }
+
+ private:
+  struct Staged {
+    std::uint64_t seq = 0;
+    Prologue prologue;
+  };
+  struct Ready {
+    Epilogue epilogue;
+    std::int64_t completed_ns = 0;  // reorder-wait measurement
+  };
+
+  void worker_loop(std::size_t index);
+  /// Releases every in-order epilogue; at most one thread sinks at a time so
+  /// sink order == sequence order.
+  void release_ready(std::unique_lock<std::mutex>& lock);
+  static std::int64_t steady_ns();
+
+  WorkerPoolRunnerOptions options_;
+  EpilogueSink sink_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;    // workers wait for pending prologues
+  std::condition_variable drain_cv_;   // drain() waits for the queue to empty
+  std::deque<Staged> pending_;
+  std::map<std::uint64_t, Ready> reorder_;
+  std::uint64_t next_submit_seq_ = 0;
+  std::uint64_t next_release_seq_ = 0;
+  bool releasing_ = false;  // a thread is currently sinking epilogues
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bft::runtime

@@ -205,6 +205,7 @@ void SimCluster::crash(ProcessId id) {
     // process must not observe events armed by its previous incarnation.
     ++it->second.incarnation;
     it->second.cancelled_timers.clear();
+    it->second.epilogue_release = 0;  // staged epilogues died with the process
   }
 }
 
@@ -255,10 +256,40 @@ void SimCluster::deliver_message(ProcessId from, ProcessId to, Payload payload,
   scheduler_.schedule_at(
       arrival, [this, from, to, payload = std::move(payload)]() mutable {
         if (crashed_.count(to)) return;
-        if (messages_delivered_ != nullptr) messages_delivered_->add();
         Process& proc = process(to);
         proc.env->activate(scheduler_.now());
-        proc.actor->on_message(from, payload.view());
+        // Two-phase delivery: the thread-safe prologue always executes here
+        // (it is deterministic and side-effect free); what changes with the
+        // staged pipeline is only where its cost is charged.
+        Verified v = proc.actor->prologue(from, std::move(payload));
+        const bool staged = proc.cpu != nullptr &&
+                            proc.cpu->prologue_worker_count() > 0 &&
+                            v.prologue_cost > 0;
+        if (!staged) {
+          // Serial reference path (--workers 0): consume immediately in the
+          // same event; consume() charges the full handler cost itself, so
+          // this is byte-identical to the old single-phase delivery.
+          if (messages_delivered_ != nullptr) messages_delivered_->add();
+          proc.actor->consume(std::move(v));
+          return;
+        }
+        // Staged path: the prologue share is served by one of the k
+        // prologue workers, and the epilogue is released in arrival order
+        // (the ordered reorder-buffer guarantee, modelled as a running
+        // release cursor since arrivals are processed in time order).
+        const sim::SimTime ready =
+            proc.cpu->run_prologue_job(scheduler_.now(), v.prologue_cost);
+        const sim::SimTime release = std::max(ready, proc.epilogue_release);
+        proc.epilogue_release = release;
+        v.prologue_charged = v.prologue_cost;
+        const std::uint64_t inc = proc.incarnation;
+        scheduler_.schedule_at(release, [this, to, inc, v = std::move(v)]() mutable {
+          Process& p = process(to);
+          if (p.incarnation != inc || crashed_.count(to)) return;
+          if (messages_delivered_ != nullptr) messages_delivered_->add();
+          p.env->activate(scheduler_.now());
+          p.actor->consume(std::move(v));
+        });
       });
 }
 

@@ -123,6 +123,11 @@ class SimCluster {
     /// Bumped on every crash; events scheduled for an older incarnation are
     /// discarded when they fire (timers, worker completions).
     std::uint64_t incarnation = 0;
+    /// Ordered-epilogue cursor for the staged prologue pipeline (CpuConfig
+    /// prologue_workers > 0): consume() of message n is released no earlier
+    /// than consume() of message n-1, mirroring WorkerPoolRunner's
+    /// sequence-numbered reorder buffer.
+    sim::SimTime epilogue_release = 0;
   };
 
   void deliver_message(ProcessId from, ProcessId to, Payload payload,

@@ -14,9 +14,30 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/log.hpp"
+
 namespace bft::runtime {
 
 namespace {
+
+/// "host:port" -> metric-name-safe suffix (lowercase [a-z0-9_] only), e.g.
+/// "127.0.0.1:9001" -> "127_0_0_1_9001".
+std::string metric_suffix(const std::string& host, std::uint16_t port) {
+  std::string out;
+  out.reserve(host.size() + 6);
+  for (char c : host) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      out.push_back(c);
+    } else if (c >= 'A' && c <= 'Z') {
+      out.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else {
+      out.push_back('_');
+    }
+  }
+  out.push_back('_');
+  out += std::to_string(port);
+  return out;
+}
 
 constexpr std::uint8_t kMagic[4] = {'B', 'F', 'T', '1'};
 constexpr std::uint16_t kVersion = 1;
@@ -154,6 +175,15 @@ TcpTransport::TcpTransport(Topology topology, std::vector<ProcessId> local_ids,
         "transport.send_dropped", "frames shed by full per-peer send queues");
     m_.send_queue_depth = &reg.gauge(
         "transport.send_queue_depth", "depth of the most recently used send queue");
+    // Per-peer drop counters: the registry has no label support, so the peer
+    // address is composed into the name (prefix "transport.send_dropped_to_",
+    // documented in OBSERVABILITY.md).
+    for (auto& [address, link] : links_) {
+      link->dropped =
+          &reg.counter("transport.send_dropped_to_" +
+                           metric_suffix(link->host, link->port),
+                       "frames shed by the send queue to " + address);
+    }
   }
 }
 
@@ -251,6 +281,15 @@ bool TcpTransport::send(ProcessId from, ProcessId to, Payload frame) {
   if (!link.queue.try_push(OutFrame{from, to, std::move(frame)})) {
     frames_dropped_.fetch_add(1, std::memory_order_relaxed);
     if (m_.send_dropped != nullptr) m_.send_dropped->add();
+    if (link.dropped != nullptr) link.dropped->add();
+    const std::uint64_t epoch = link.epoch.load(std::memory_order_relaxed);
+    if (link.drop_logged_epoch.exchange(epoch, std::memory_order_relaxed) !=
+        epoch) {
+      BFT_LOG(warn) << "tcp transport " << listen_host_ << ":" << listen_port_
+                    << ": send queue to " << link.host << ":" << link.port
+                    << " full, shedding frames (one log per connection epoch; "
+                       "see transport.send_dropped_to_* counters)";
+    }
     return false;
   }
   if (m_.send_queue_depth != nullptr) {
@@ -319,6 +358,7 @@ int TcpTransport::dial(PeerLink& link) {
       reconnects_.fetch_add(1, std::memory_order_relaxed);
       if (m_.reconnects != nullptr) m_.reconnects->add();
     }
+    link.epoch.fetch_add(1, std::memory_order_relaxed);
     link.fd.store(fd);
     return fd;
   }

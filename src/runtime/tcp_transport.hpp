@@ -28,8 +28,12 @@
 // Backpressure: each peer has a bounded send queue drained by a writer
 // thread. When the queue is full, send() drops the frame and counts it —
 // Env::send is best-effort by contract, and shedding beats blocking an event
-// loop on a dead peer. Queue depth, bytes/frames in/out, reconnects, drops
-// and frame errors register in the obs registry (see OBSERVABILITY.md).
+// loop on a dead peer. Drops count both globally (transport.send_dropped)
+// and per peer (transport.send_dropped_to_<host>_<port>), and emit one warn
+// log per connection epoch — the first drop after each (re)dial — rather
+// than one per frame, so a dead peer cannot flood the log. Queue depth,
+// bytes/frames in/out, reconnects, drops and frame errors register in the
+// obs registry (see OBSERVABILITY.md).
 #pragma once
 
 #include <atomic>
@@ -101,6 +105,15 @@ class TcpTransport final : public Transport {
     std::thread writer;
     std::atomic<int> fd{-1};
     std::atomic<bool> ever_connected{false};  // redials after this count as reconnects
+    /// Connection epoch: bumps on every successful dial. Queue-full drops
+    /// warn once per epoch (drop_logged_epoch latches the epoch that logged),
+    /// so a dead peer produces one line per reconnect attempt cycle, not one
+    /// per shed frame.
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<std::uint64_t> drop_logged_epoch{~0ull};
+    /// Per-peer drop counter ("transport.send_dropped_to_<host>_<port>");
+    /// null when no registry is wired.
+    obs::Counter* dropped = nullptr;
 
     explicit PeerLink(std::size_t capacity) : queue(capacity) {}
   };

@@ -10,6 +10,7 @@ CpuModel::CpuModel(CpuConfig config) : config_(config) {
     throw std::invalid_argument("CpuModel: need at least one worker thread");
   }
   worker_free_.assign(config_.worker_threads, 0);
+  prologue_free_.assign(config_.prologue_workers, 0);
 }
 
 SimTime CpuModel::run_protocol_job(SimTime now, SimTime cost) {
@@ -34,6 +35,19 @@ SimTime CpuModel::run_worker_job(SimTime now, SimTime cost) {
   const SimTime start = std::max(now, *it);
   const double factor = 1.0 + config_.contention_beta * utilization_;
   const SimTime done = start + static_cast<SimTime>(static_cast<double>(cost) * factor);
+  *it = done;
+  return done;
+}
+
+SimTime CpuModel::run_prologue_job(SimTime now, SimTime cost) {
+  if (prologue_free_.empty()) {
+    throw std::logic_error("CpuModel: prologue job without prologue workers");
+  }
+  auto it = std::min_element(prologue_free_.begin(), prologue_free_.end());
+  const SimTime start = std::max(now, *it);
+  const double factor = 1.0 + config_.contention_beta * utilization_;
+  const SimTime done =
+      start + static_cast<SimTime>(static_cast<double>(cost) * factor);
   *it = done;
   return done;
 }

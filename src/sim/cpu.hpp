@@ -29,6 +29,13 @@ struct CpuConfig {
   double contention_beta = 0.8;
   /// EWMA smoothing constant for the utilization estimate.
   double utilization_alpha = 0.05;
+  /// Staged-pipeline verification workers (the `--workers N` knob, mirroring
+  /// runtime::WorkerPoolRunner): 0 keeps the serial reference behavior where
+  /// prologue work is charged to the protocol FIFO thread; N > 0 models N
+  /// parallel servers absorbing the thread-safe prologue share of message
+  /// handling (decode + signature checks), with epilogues released back to
+  /// the protocol thread in arrival order.
+  std::uint32_t prologue_workers = 0;
 };
 
 class CpuModel {
@@ -43,6 +50,16 @@ class CpuModel {
   /// `cost` by the current contention factor.
   SimTime run_worker_job(SimTime now, SimTime cost);
 
+  /// Staged-pipeline prologue job (message decode/verify offload): one of
+  /// `prologue_workers` parallel servers, inflated by the same contention
+  /// factor as the signing pool (both contend with the protocol stack).
+  /// Never called when prologue_workers == 0.
+  SimTime run_prologue_job(SimTime now, SimTime cost);
+
+  std::uint32_t prologue_worker_count() const {
+    return config_.prologue_workers;
+  }
+
   /// Current EWMA of the protocol thread's busy fraction, in [0, 1].
   double protocol_utilization() const { return utilization_; }
   /// Time at which the protocol thread becomes idle.
@@ -53,6 +70,7 @@ class CpuModel {
   SimTime protocol_free_ = 0;
   double utilization_ = 0.0;
   std::vector<SimTime> worker_free_;
+  std::vector<SimTime> prologue_free_;
 };
 
 }  // namespace bft::sim

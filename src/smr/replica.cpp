@@ -14,18 +14,11 @@ using consensus::ReplicaId;
 using runtime::ProcessId;
 
 crypto::PrivateKey process_signing_key(ProcessId id) {
-  return crypto::PrivateKey::from_seed(to_bytes("bft-process-" + std::to_string(id)));
+  return crypto::process_private_key(id);
 }
 
 const crypto::PublicKey& process_public_key(ProcessId id) {
-  static std::mutex mutex;
-  static std::map<ProcessId, crypto::PublicKey> cache;
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(id);
-  if (it == cache.end()) {
-    it = cache.emplace(id, process_signing_key(id).public_key()).first;
-  }
-  return it->second;
+  return crypto::process_public_key(id);
 }
 
 Bytes encode_reconfig(ReconfigOp op, ProcessId node) {
@@ -51,7 +44,7 @@ Replica::Replica(ProcessId self, ClusterConfig config, ReplicaParams params,
       params_(params),
       app_(app),
       replier_(replier),
-      signing_key_(process_signing_key(self)),
+      authenticator_(crypto::make_process_authenticator(self)),
       trace_(params.trace) {
   if (app_ == nullptr) throw std::invalid_argument("Replica: null state machine");
   if (params_.metrics != nullptr) {
@@ -142,31 +135,109 @@ void Replica::on_recover() {
   app_->on_recover();
 }
 
+runtime::Verified Replica::prologue(ProcessId from, Payload payload) const {
+  runtime::Verified v;
+  v.from = from;
+  v.payload = std::move(payload);
+  const CostModel& costs = params_.costs;
+  const ByteView view = v.payload.view();
+  try {
+    switch (peek_kind(view)) {
+      case MsgKind::request:
+        v.prologue_cost =
+            std::min(costs.request_prologue, costs.per_request) +
+            static_cast<runtime::Duration>(view.size()) * costs.per_value_byte;
+        break;
+      case MsgKind::forward:
+        v.prologue_cost = std::min(costs.request_prologue, costs.per_request);
+        if (params_.sign_writes) {
+          const Forward fwd = decode_forward(view);
+          v.auth = authenticator_->verify_from(from,
+                                               forward_digest(fwd.request),
+                                               fwd.signature)
+                       ? runtime::Verified::Auth::accepted
+                       : runtime::Verified::Auth::rejected;
+        }
+        break;
+      case MsgKind::propose:
+        v.prologue_cost =
+            std::min(costs.consensus_prologue, costs.per_consensus_msg) +
+            static_cast<runtime::Duration>(view.size()) * costs.per_value_byte;
+        break;
+      case MsgKind::write: {
+        v.prologue_cost =
+            std::min(costs.consensus_prologue, costs.per_consensus_msg);
+        if (params_.sign_writes) {
+          const WriteMsg msg = decode_write(view);
+          v.auth = authenticator_->verify_from(
+                       from,
+                       consensus::write_attestation_digest(msg.cid, msg.epoch,
+                                                           msg.hash),
+                       msg.signature)
+                       ? runtime::Verified::Auth::accepted
+                       : runtime::Verified::Auth::rejected;
+        }
+        break;
+      }
+      case MsgKind::accept:
+        v.prologue_cost =
+            std::min(costs.consensus_prologue, costs.per_consensus_msg);
+        break;
+      default:
+        break;  // uncharged kinds have no offloadable share
+    }
+  } catch (const DecodeError&) {
+    // Malformed message: let consume() take the full (serial) path so the
+    // diagnostic and the cost accounting match the single-phase behavior.
+    v.auth = runtime::Verified::Auth::unchecked;
+    v.prologue_cost = 0;
+  }
+  return v;
+}
+
+void Replica::consume(runtime::Verified&& verified) {
+  dispatch(verified.from, verified.payload.view(), verified.auth,
+           verified.prologue_charged);
+}
+
 void Replica::on_message(ProcessId from, ByteView payload) {
+  dispatch(from, payload, runtime::Verified::Auth::unchecked, 0);
+}
+
+void Replica::dispatch(ProcessId from, ByteView payload,
+                       runtime::Verified::Auth auth,
+                       runtime::Duration prologue_charged) {
+  // The runtime may have charged the prologue share of this handler to the
+  // staged workers already; charge the remainder here so serial (charged ==
+  // 0, one full-cost job) and staged totals agree.
+  const auto charge_rest = [&](runtime::Duration total) {
+    charge(total > prologue_charged ? total - prologue_charged
+                                    : runtime::Duration{0});
+  };
   try {
     switch (peek_kind(payload)) {
       case MsgKind::request:
-        charge(params_.costs.per_request +
-               static_cast<runtime::Duration>(payload.size()) *
-                   params_.costs.per_value_byte);
+        charge_rest(params_.costs.per_request +
+                    static_cast<runtime::Duration>(payload.size()) *
+                        params_.costs.per_value_byte);
         handle_request(from, decode_request(payload), false);
         break;
       case MsgKind::forward:
-        charge(params_.costs.per_request);
-        handle_forward(from, decode_forward(payload));
+        charge_rest(params_.costs.per_request);
+        handle_forward(from, decode_forward(payload), auth);
         break;
       case MsgKind::propose:
-        charge(params_.costs.per_consensus_msg +
-               static_cast<runtime::Duration>(payload.size()) *
-                   params_.costs.per_value_byte);
+        charge_rest(params_.costs.per_consensus_msg +
+                    static_cast<runtime::Duration>(payload.size()) *
+                        params_.costs.per_value_byte);
         handle_propose(from, decode_propose(payload));
         break;
       case MsgKind::write:
-        charge(params_.costs.per_consensus_msg);
-        handle_write(from, decode_write(payload));
+        charge_rest(params_.costs.per_consensus_msg);
+        handle_write(from, decode_write(payload), auth);
         break;
       case MsgKind::accept:
-        charge(params_.costs.per_consensus_msg);
+        charge_rest(params_.costs.per_consensus_msg);
         handle_accept(from, decode_accept(payload));
         break;
       case MsgKind::stop:
@@ -233,7 +304,7 @@ void Replica::on_timer(std::uint64_t timer_id) {
           Forward fwd{entry.request, {}};
           if (params_.sign_writes) {
             fwd.signature =
-                signing_key_.sign(forward_digest(fwd.request)).to_bytes();
+                authenticator_->sign_for(leader, forward_digest(fwd.request));
           }
           env().send(leader, encode_forward(fwd));
           if (++sent >= params_.batch_max) break;
@@ -293,16 +364,17 @@ void Replica::on_timer(std::uint64_t timer_id) {
 // Requests and batching
 // --------------------------------------------------------------------------
 
-void Replica::handle_forward(ProcessId from, const Forward& fwd) {
+void Replica::handle_forward(ProcessId from, const Forward& fwd,
+                             runtime::Verified::Auth auth) {
   // Forwards inject (client, seq) pairs straight into the batch pool, so
   // only accept them from cluster members, authenticated like WRITEs. A
   // forged seq would poison last_executed_seq_ and dedup-drop every later
   // genuine request from that client.
   if (!config_.contains(from)) return;
-  if (params_.sign_writes) {
-    const auto sig = crypto::Signature::from_bytes(fwd.signature);
-    if (!sig.ok() || !process_public_key(from).verify(
-                         forward_digest(fwd.request), sig.value())) {
+  if (params_.sign_writes && auth != runtime::Verified::Auth::accepted) {
+    if (auth == runtime::Verified::Auth::rejected ||
+        !authenticator_->verify_from(from, forward_digest(fwd.request),
+                                     fwd.signature)) {
       BFT_LOG(warn) << "replica " << self_ << ": bad FORWARD signature from "
                     << from;
       return;
@@ -441,9 +513,8 @@ void Replica::send_write_for(ConsensusId cid, Epoch epoch, const ValueHash& hash
   d.sent_write.insert(epoch);
   Bytes signature;
   if (params_.sign_writes) {
-    signature =
-        signing_key_.sign(consensus::write_attestation_digest(cid, epoch, hash))
-            .to_bytes();
+    signature = authenticator_->sign_for(
+        self_, consensus::write_attestation_digest(cid, epoch, hash));
   }
   broadcast(encode_write(WriteMsg{cid, epoch, hash, signature}));
   if (d.instance.on_write(epoch, config_.index_of(self_), hash,
@@ -452,15 +523,16 @@ void Replica::send_write_for(ConsensusId cid, Epoch epoch, const ValueHash& hash
   }
 }
 
-void Replica::handle_write(ProcessId from, const WriteMsg& msg) {
+void Replica::handle_write(ProcessId from, const WriteMsg& msg,
+                           runtime::Verified::Auth auth) {
   if (!is_active_member() || !config_.contains(from)) return;
   if (!admit_consensus_cid(msg.cid)) return;
-  if (params_.sign_writes) {
-    const auto sig = crypto::Signature::from_bytes(msg.signature);
-    if (!sig.ok() ||
-        !process_public_key(from).verify(
+  if (params_.sign_writes && auth != runtime::Verified::Auth::accepted) {
+    if (auth == runtime::Verified::Auth::rejected ||
+        !authenticator_->verify_from(
+            from,
             consensus::write_attestation_digest(msg.cid, msg.epoch, msg.hash),
-            sig.value())) {
+            msg.signature)) {
       BFT_LOG(warn) << "replica " << self_ << ": bad WRITE signature from " << from;
       return;
     }
@@ -550,8 +622,13 @@ void Replica::on_decided(ConsensusId cid) {
   if (!params_.tentative_execution && order_frontier_ < cid) {
     order_frontier_ = cid;
   }
-  try_apply();
+  // Propose the next batch before applying this decision: the decided
+  // requests are still flagged inflight (so they cannot be re-proposed) and
+  // execution is a local upcall, so the next consensus round's network
+  // round-trip overlaps with execute_batch instead of waiting behind it —
+  // BFT-SMaRt's split between the message-processing and delivery threads.
   maybe_propose();
+  try_apply();
 }
 
 void Replica::broadcast(Payload payload) {
@@ -1015,7 +1092,8 @@ void Replica::send_stopdata() {
       if (e == 0) break;
     }
   }
-  sd.signature = signing_key_.sign(stopdata_digest(sd)).to_bytes();
+  sd.signature =
+      authenticator_->sign_for(config_.leader(regency_), stopdata_digest(sd));
 
   const ProcessId leader = config_.leader(regency_);
   const Bytes encoded = encode_stopdata(sd);
@@ -1032,10 +1110,8 @@ bool Replica::validate_stopdata(const StopData& sd, Epoch expected_epoch,
   if (!config_.contains(sd.from)) return false;
   StopData unsigned_copy = sd;
   unsigned_copy.signature.clear();
-  const auto sig = crypto::Signature::from_bytes(sd.signature);
-  if (!sig.ok() ||
-      !process_public_key(sd.from).verify(stopdata_digest(unsigned_copy),
-                                          sig.value())) {
+  if (!authenticator_->verify_from(sd.from, stopdata_digest(unsigned_copy),
+                                   sd.signature)) {
     return false;
   }
   if (sd.cert.has_value()) {
@@ -1045,12 +1121,11 @@ bool Replica::validate_stopdata(const StopData& sd, Epoch expected_epoch,
     for (const auto& vote : cert.votes) {
       if (vote.from >= config_.n() || voters.count(vote.from) > 0) return false;
       if (params_.sign_writes) {
-        const auto vote_sig = crypto::Signature::from_bytes(vote.signature);
-        if (!vote_sig.ok() ||
-            !process_public_key(config_.member_at(vote.from))
-                 .verify(consensus::write_attestation_digest(cert.cid, cert.epoch,
-                                                             cert.hash),
-                         vote_sig.value())) {
+        if (!authenticator_->verify_from(
+                config_.member_at(vote.from),
+                consensus::write_attestation_digest(cert.cid, cert.epoch,
+                                                    cert.hash),
+                vote.signature)) {
           return false;
         }
       }

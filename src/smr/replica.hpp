@@ -21,6 +21,7 @@
 #include <set>
 
 #include "consensus/instance.hpp"
+#include "crypto/authenticator.hpp"
 #include "crypto/ecdsa.hpp"
 #include "runtime/actor.hpp"
 #include "smr/config.hpp"
@@ -32,7 +33,8 @@ namespace bft::smr {
 /// Derives the (simulated PKI) signing key of a process from its id. Every
 /// node derives every other node's public key the same way; this stands in
 /// for certificate distribution, which the paper delegates to the HLF
-/// membership service.
+/// membership service. Thin aliases over crypto::process_private_key /
+/// crypto::process_public_key (authenticator.hpp), kept for existing callers.
 crypto::PrivateKey process_signing_key(runtime::ProcessId id);
 const crypto::PublicKey& process_public_key(runtime::ProcessId id);
 
@@ -49,6 +51,18 @@ class Replica : public runtime::Actor {
           StateMachine* app, Replier* replier = nullptr);
 
   void on_start(runtime::Env& env) override;
+  /// Staged-pipeline phase 1 (thread-safe, const): classifies the message,
+  /// reports the offloadable decode/verify cost share, and pre-verifies
+  /// FORWARD / WRITE signatures through the Authenticator so the expensive
+  /// point multiplication runs on a runner worker. Touches only immutable
+  /// state (params_, the authenticator, the global key cache) — never
+  /// config_, which reconfiguration mutates on the consume thread.
+  runtime::Verified prologue(runtime::ProcessId from,
+                             Payload payload) const override;
+  /// Staged-pipeline phase 2: full dispatch in protocol order, honoring the
+  /// prologue's verdict (accepted skips the inline re-check, rejected drops).
+  void consume(runtime::Verified&& verified) override;
+  /// Legacy single-phase entry: dispatch with no pre-verification.
   void on_message(runtime::ProcessId from, ByteView payload) override;
   void on_timer(std::uint64_t timer_id) override;
   /// Warm restart after a crash fault: every timer armed before the crash is
@@ -116,11 +130,20 @@ class Replica : public runtime::Actor {
   };
 
   // -- message handlers --
+  /// Shared dispatch behind on_message/consume. `auth` is the prologue's
+  /// verification verdict; `prologue_charged` is CPU cost the runtime
+  /// already charged to the prologue workers (subtracted from the inline
+  /// charge so serial and staged totals match).
+  void dispatch(runtime::ProcessId from, ByteView payload,
+                runtime::Verified::Auth auth,
+                runtime::Duration prologue_charged);
   void handle_request(runtime::ProcessId from, const Request& request,
                       bool forwarded);
-  void handle_forward(runtime::ProcessId from, const Forward& fwd);
+  void handle_forward(runtime::ProcessId from, const Forward& fwd,
+                      runtime::Verified::Auth auth);
   void handle_propose(runtime::ProcessId from, const Propose& msg);
-  void handle_write(runtime::ProcessId from, const WriteMsg& msg);
+  void handle_write(runtime::ProcessId from, const WriteMsg& msg,
+                    runtime::Verified::Auth auth);
   void handle_accept(runtime::ProcessId from, const AcceptMsg& msg);
   void handle_stop(runtime::ProcessId from, const Stop& msg);
   void handle_stopdata(runtime::ProcessId from, const StopData& msg);
@@ -206,7 +229,10 @@ class Replica : public runtime::Actor {
   ReplicaParams params_;
   StateMachine* app_;
   Replier* replier_;
-  crypto::PrivateKey signing_key_;
+  /// Single seam for every signature this replica produces or checks
+  /// (FORWARD, WRITE, STOPDATA + certificates). Shared with the prologue
+  /// workers, so the implementation must be thread-safe.
+  std::shared_ptr<const crypto::Authenticator> authenticator_;
 
   consensus::Epoch regency_ = 0;
 

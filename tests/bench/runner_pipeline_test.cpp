@@ -1,0 +1,73 @@
+// Staged-pipeline guarantees at the Fig. 7 harness level (ctest label
+// `runner`):
+//   * --workers 0 is the serial reference: deterministic per seed, including
+//     a byte-identical instrumented JSON export;
+//   * --workers N keeps the simulation deterministic too (the prologue
+//     servers are part of the model, not host threading);
+//   * workers move the protocol-thread-bound cell (block 100, 40 B) and do
+//     not break the sign-bound cell's Eq. (1) ceiling.
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace bft::bench {
+namespace {
+
+LanConfig pipeline_cell(std::uint32_t workers) {
+  LanConfig config;
+  config.orderers = 4;
+  config.block_size = 100;  // protocol-thread-bound cell of Fig. 7
+  config.envelope_size = 40;
+  config.receivers = 1;
+  config.warmup_s = 0.2;
+  config.measure_s = 0.4;
+  config.seed = 11;
+  config.workers = workers;
+  return config;
+}
+
+TEST(RunnerPipelineTest, SerialWorkersZeroIsByteIdenticalPerSeed) {
+  LanConfig config = pipeline_cell(0);
+  config.collect_metrics = true;
+  const LanResult a = run_lan_throughput(config);
+  const LanResult b = run_lan_throughput(config);
+  EXPECT_EQ(a.throughput_tps, b.throughput_tps);
+  EXPECT_EQ(a.block_rate, b.block_rate);
+  EXPECT_EQ(a.delivered_at_receiver, b.delivered_at_receiver);
+  EXPECT_EQ(a.leader_utilization, b.leader_utilization);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);  // byte-identical export
+}
+
+TEST(RunnerPipelineTest, StagedWorkersAreDeterministicPerSeed) {
+  LanConfig config = pipeline_cell(4);
+  config.collect_metrics = true;
+  const LanResult a = run_lan_throughput(config);
+  const LanResult b = run_lan_throughput(config);
+  EXPECT_EQ(a.throughput_tps, b.throughput_tps);
+  EXPECT_EQ(a.delivered_at_receiver, b.delivered_at_receiver);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+}
+
+TEST(RunnerPipelineTest, WorkersLiftTheProtocolBoundCell) {
+  // The acceptance bar for the staged pipeline: 4 prologue workers at least
+  // double the serial throughput of the protocol-thread-bound cell.
+  const LanResult serial = run_lan_throughput(pipeline_cell(0));
+  const LanResult staged = run_lan_throughput(pipeline_cell(4));
+  EXPECT_GT(serial.throughput_tps, 1000.0);
+  EXPECT_GE(staged.throughput_tps, serial.throughput_tps * 2.0)
+      << "serial=" << serial.throughput_tps
+      << " staged=" << staged.throughput_tps;
+}
+
+TEST(RunnerPipelineTest, SignBoundCellStaysSignBound) {
+  // Block size 10 with 40 B envelopes is signing-bound (Eq. 1); prologue
+  // workers must not push it past the signing ceiling.
+  LanConfig config = pipeline_cell(4);
+  config.block_size = 10;
+  const LanResult r = run_lan_throughput(config);
+  EXPECT_LT(r.throughput_tps, r.sign_bound_tps);
+  EXPECT_GT(r.throughput_tps, r.sign_bound_tps * 0.4);
+}
+
+}  // namespace
+}  // namespace bft::bench

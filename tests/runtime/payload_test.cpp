@@ -116,7 +116,7 @@ TEST(RealRuntimeTest, BoundedInboxShedsOverflow) {
   options.inbox_capacity = 2;
   RealCluster cluster(options);
   BufferProbe probe;
-  cluster.add_process(7, &probe);
+  cluster.add_process(7, &probe, /*workers=*/0);  // serial path: exact bound
   // Before start nothing drains the inbox, so the bound is exact: two
   // deliveries fit, three are shed and counted.
   for (int i = 0; i < 5; ++i) {
@@ -132,7 +132,7 @@ TEST(RealRuntimeTest, InboxMetricsRegister) {
   options.metrics = &registry;
   RealCluster cluster(options);
   BufferProbe probe;
-  cluster.add_process(1, &probe);
+  cluster.add_process(1, &probe, /*workers=*/0);  // serial path: exact bound
   cluster.deliver_local(0, 1, Payload(to_bytes("a")));
   cluster.deliver_local(0, 1, Payload(to_bytes("b")));  // shed
   EXPECT_EQ(registry.counter("runtime.inbox_dropped").value(), 1u);
